@@ -1,0 +1,53 @@
+// Figure 1: file access distributions — cumulative fraction of accesses
+// absorbed by the most-accessed files, for the three skewed MS-trace-like
+// devices versus Filebench's uniform default.
+//
+// The paper extracted per-file access counts from the Microsoft Production
+// Build Server trace's three busiest devices and found them highly skewed,
+// while Filebench picks files uniformly. We model the three devices with
+// Zipf exponents fitted to reproduce that spread.
+
+#include "bench/bench_common.h"
+#include "src/util/zipf.h"
+
+using namespace duet;
+
+int main(int argc, char** argv) {
+  StackConfig stack = ParseStackArgs(argc, argv);
+  PrintBenchHeader("Figure 1: file access distributions",
+                   "MS-trace devices are highly skewed (top few % of files take "
+                   "most accesses); Filebench's default is uniform",
+                   stack);
+
+  const uint64_t files = 10'000;
+  ZipfSampler ms_dev0(files, 1.25);
+  ZipfSampler ms_dev1(files, 1.10);
+  ZipfSampler ms_dev2(files, 0.95);
+
+  TextTable table({"top files (%)", "ms-device-0", "ms-device-1", "ms-device-2",
+                   "filebench uniform"});
+  for (double top_pct : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
+    auto top = static_cast<uint64_t>(top_pct / 100.0 * static_cast<double>(files));
+    top = top == 0 ? 1 : top;
+    table.AddRow({Num(top_pct, 1), Pct(ms_dev0.CumulativeProbability(top)),
+                  Pct(ms_dev1.CumulativeProbability(top)),
+                  Pct(ms_dev2.CumulativeProbability(top)),
+                  Pct(static_cast<double>(top) / static_cast<double>(files))});
+  }
+  table.Print();
+
+  // Empirical check: sample each distribution and report the access share of
+  // the top 1% of files.
+  printf("\nsampled access share of top 1%% of files (100k samples):\n");
+  for (auto* sampler : {&ms_dev0, &ms_dev1, &ms_dev2}) {
+    Rng rng(1);
+    uint64_t hits = 0;
+    for (int i = 0; i < 100'000; ++i) {
+      if (sampler->Sample(rng) < files / 100) {
+        ++hits;
+      }
+    }
+    printf("  zipf s=%.2f: %.1f%%\n", sampler->s(), hits / 1000.0);
+  }
+  return 0;
+}

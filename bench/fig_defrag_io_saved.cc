@@ -1,0 +1,39 @@
+// §6.2 "Defragmentation": I/O saved when the defragmentation task runs with
+// each workload on a ~10% fragmented file system. Savings are smaller than
+// for scrubbing/backup: on read-heavy workloads only the read half of the
+// 2x-pages defrag cost can be saved (~50% cap); append-heavy workloads also
+// save dirty-page writes.
+
+#include "bench/bench_common.h"
+
+using namespace duet;
+
+int main(int argc, char** argv) {
+  StackConfig stack = ParseStackArgs(argc, argv);
+  PrintBenchHeader(
+      "Defragmentation I/O saved (10% fragmented file system)",
+      "similar but smaller savings than Figs. 2-3; read-heavy workloads cap "
+      "near 50% (writes still needed); skew costs 15-30%",
+      stack);
+
+  constexpr double kFrag = 0.1;
+  RateTable rates(".duet_rate_cache");
+  TextTable table({"util", "webserver", "webserver (MS)", "webproxy", "fileserver"});
+  for (int util_pct = 0; util_pct <= 100; util_pct += 20) {
+    double util = util_pct / 100.0;
+    std::vector<std::string> row{Pct(util)};
+    for (auto [p, skew] : {std::pair{Personality::kWebserver, false},
+                           std::pair{Personality::kWebserver, true},
+                           std::pair{Personality::kWebproxy, false},
+                           std::pair{Personality::kFileserver, false}}) {
+      MaintenanceRunResult result = RunAtUtil(rates, stack, p, 1.0, skew, util,
+                                              {MaintKind::kDefrag},
+                                              /*use_duet=*/true, kFrag);
+      row.push_back(Pct(result.IoSavedFraction()));
+    }
+    table.AddRow(std::move(row));
+    fflush(stdout);
+  }
+  table.Print();
+  return 0;
+}

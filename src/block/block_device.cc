@@ -1,0 +1,87 @@
+#include "src/block/block_device.h"
+
+#include <cassert>
+#include <utility>
+
+namespace duet {
+
+BlockDevice::BlockDevice(EventLoop* loop, std::unique_ptr<DiskModel> model,
+                         std::unique_ptr<IoScheduler> scheduler)
+    : loop_(loop), model_(std::move(model)), scheduler_(std::move(scheduler)) {
+  assert(loop_ != nullptr && model_ != nullptr && scheduler_ != nullptr);
+}
+
+void BlockDevice::Submit(IoRequest request) {
+  assert(request.block + request.count <= model_->capacity_blocks());
+  if (request.io_class == IoClass::kBestEffort) {
+    last_best_effort_activity_ = loop_->now();
+  }
+  scheduler_->Enqueue(std::move(request));
+  TryDispatch();
+}
+
+uint64_t BlockDevice::InFlightOrQueued() const {
+  return in_flight_ + scheduler_->QueuedCount(IoClass::kBestEffort) +
+         scheduler_->QueuedCount(IoClass::kIdle);
+}
+
+void BlockDevice::TryDispatch() {
+  if (busy_) {
+    return;
+  }
+  DispatchDecision decision = scheduler_->Dispatch(loop_->now(), last_best_effort_activity_);
+  if (decision.request.has_value()) {
+    if (retry_event_ != kInvalidEvent) {
+      loop_->Cancel(retry_event_);
+      retry_event_ = kInvalidEvent;
+    }
+    busy_ = true;
+    ++in_flight_;
+    IoRequest req = std::move(*decision.request);
+    SimDuration service = model_->ServiceTime(req.block, req.count, req.dir, head_);
+    loop_->ScheduleAfter(service, [this, r = std::move(req), service]() mutable {
+      Complete(std::move(r), service);
+    });
+    return;
+  }
+  if (decision.retry_at.has_value()) {
+    // Replace any earlier retry alarm; the grace deadline may have moved.
+    if (retry_event_ != kInvalidEvent) {
+      loop_->Cancel(retry_event_);
+    }
+    retry_event_ = loop_->ScheduleAt(*decision.retry_at, [this]() {
+      retry_event_ = kInvalidEvent;
+      TryDispatch();
+    });
+  }
+}
+
+void BlockDevice::Complete(IoRequest request, SimDuration service_time) {
+  int c = static_cast<int>(request.io_class);
+  int d = static_cast<int>(request.dir);
+  ++stats_.ops[c][d];
+  stats_.blocks[c][d] += request.count;
+  stats_.busy[static_cast<size_t>(c)] += service_time;
+  head_ = request.block + request.count;
+  if (request.io_class == IoClass::kBestEffort) {
+    last_best_effort_activity_ = loop_->now();
+  }
+  busy_ = false;
+  --in_flight_;
+  if (request.done) {
+    request.done();
+  }
+  TryDispatch();
+}
+
+double BlockDevice::BestEffortUtilizationSince(SimTime since,
+                                               SimDuration busy_at_since) const {
+  SimTime now = loop_->now();
+  if (now <= since) {
+    return 0;
+  }
+  SimDuration busy = stats_.busy[static_cast<int>(IoClass::kBestEffort)] - busy_at_since;
+  return static_cast<double>(busy) / static_cast<double>(now - since);
+}
+
+}  // namespace duet

@@ -1,0 +1,75 @@
+// Simulated block device: single-spindle service loop driven by the event
+// loop, a pluggable scheduler and disk model, and busy-time accounting split
+// by I/O class (the basis of the paper's iostat-style %util metric).
+#ifndef SRC_BLOCK_BLOCK_DEVICE_H_
+#define SRC_BLOCK_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/block/disk_model.h"
+#include "src/block/io_request.h"
+#include "src/block/io_scheduler.h"
+#include "src/sim/event_loop.h"
+#include "src/util/types.h"
+
+namespace duet {
+
+struct DeviceStats {
+  // Indexed by [IoClass][IoDir].
+  uint64_t ops[2][2] = {{0, 0}, {0, 0}};
+  uint64_t blocks[2][2] = {{0, 0}, {0, 0}};
+  // Device busy time attributable to each class.
+  SimDuration busy[2] = {0, 0};
+
+  uint64_t TotalOps(IoClass c) const {
+    return ops[static_cast<int>(c)][0] + ops[static_cast<int>(c)][1];
+  }
+  uint64_t TotalBlocks(IoClass c) const {
+    return blocks[static_cast<int>(c)][0] + blocks[static_cast<int>(c)][1];
+  }
+  SimDuration TotalBusy() const { return busy[0] + busy[1]; }
+};
+
+class BlockDevice {
+ public:
+  BlockDevice(EventLoop* loop, std::unique_ptr<DiskModel> model,
+              std::unique_ptr<IoScheduler> scheduler);
+
+  // Queues a request; `request.done` fires when the device completes it.
+  void Submit(IoRequest request);
+
+  const DeviceStats& stats() const { return stats_; }
+  const DiskModel& model() const { return *model_; }
+  const IoScheduler& scheduler() const { return *scheduler_; }
+  uint64_t capacity_blocks() const { return model_->capacity_blocks(); }
+
+  bool busy() const { return busy_; }
+  // Requests queued or in flight, any class.
+  uint64_t InFlightOrQueued() const;
+  // Last instant a best-effort request was submitted or completed.
+  SimTime last_best_effort_activity() const { return last_best_effort_activity_; }
+
+  // Fraction of [since, loop->now()) the device spent servicing best-effort
+  // requests — the paper's "device utilization" when no maintenance runs.
+  double BestEffortUtilizationSince(SimTime since, SimDuration busy_at_since) const;
+
+ private:
+  void TryDispatch();
+  void Complete(IoRequest request, SimDuration service_time);
+
+  EventLoop* loop_;
+  std::unique_ptr<DiskModel> model_;
+  std::unique_ptr<IoScheduler> scheduler_;
+
+  bool busy_ = false;
+  uint64_t in_flight_ = 0;
+  BlockNo head_ = 0;
+  SimTime last_best_effort_activity_ = 0;
+  EventId retry_event_ = kInvalidEvent;
+  DeviceStats stats_;
+};
+
+}  // namespace duet
+
+#endif  // SRC_BLOCK_BLOCK_DEVICE_H_

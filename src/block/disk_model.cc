@@ -1,0 +1,51 @@
+#include "src/block/disk_model.h"
+
+#include <cmath>
+
+namespace duet {
+namespace {
+
+SimDuration TransferTime(uint32_t count, double mbps) {
+  double bytes = static_cast<double>(count) * static_cast<double>(kPageSize);
+  double seconds = bytes / (mbps * 1e6);
+  return FromSeconds(seconds);
+}
+
+}  // namespace
+
+HddModel::HddModel(HddParams params) : params_(params) {}
+
+SimDuration HddModel::ServiceTime(BlockNo start, uint32_t count, IoDir dir,
+                                  BlockNo head) const {
+  double mbps = (dir == IoDir::kRead) ? params_.seq_read_mbps : params_.seq_write_mbps;
+  SimDuration positioning = 0;
+  if (start != head) {
+    // Classic square-root seek curve between track and full-stroke times,
+    // plus average rotational latency once the head lands.
+    uint64_t dist = (start > head) ? start - head : head - start;
+    double frac = static_cast<double>(dist) / static_cast<double>(params_.capacity_blocks);
+    if (frac > 1.0) {
+      frac = 1.0;
+    }
+    auto seek = static_cast<SimDuration>(
+        static_cast<double>(params_.track_seek) +
+        static_cast<double>(params_.max_seek - params_.track_seek) * std::sqrt(frac));
+    positioning = seek + params_.avg_rotation;
+  }
+  return positioning + TransferTime(count, mbps);
+}
+
+SsdModel::SsdModel(SsdParams params) : params_(params) {}
+
+SimDuration SsdModel::ServiceTime(BlockNo start, uint32_t count, IoDir dir,
+                                  BlockNo head) const {
+  double mbps = (dir == IoDir::kRead) ? params_.seq_read_mbps : params_.seq_write_mbps;
+  SimDuration positioning = 0;
+  if (start != head) {
+    positioning = (dir == IoDir::kRead) ? params_.random_read_penalty
+                                        : params_.random_write_penalty;
+  }
+  return positioning + TransferTime(count, mbps);
+}
+
+}  // namespace duet

@@ -1,0 +1,31 @@
+// I/O request types shared by the block device, schedulers, and all clients.
+#ifndef SRC_BLOCK_IO_REQUEST_H_
+#define SRC_BLOCK_IO_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/time.h"
+#include "src/util/types.h"
+
+namespace duet {
+
+enum class IoDir { kRead = 0, kWrite = 1 };
+
+// I/O priority classes, mirroring the Linux CFQ classes the paper uses:
+// foreground workload runs best-effort, in-kernel maintenance tasks issue
+// their I/O at Idle priority (§6.1.3).
+enum class IoClass { kBestEffort = 0, kIdle = 1 };
+
+struct IoRequest {
+  BlockNo block = 0;       // first block
+  uint32_t count = 1;      // number of contiguous blocks
+  IoDir dir = IoDir::kRead;
+  IoClass io_class = IoClass::kBestEffort;
+  // Invoked when the device completes the request (virtual time advanced).
+  std::function<void()> done;
+};
+
+}  // namespace duet
+
+#endif  // SRC_BLOCK_IO_REQUEST_H_

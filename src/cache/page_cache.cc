@@ -1,0 +1,289 @@
+#include "src/cache/page_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace duet {
+
+const char* PageEventTypeName(PageEventType type) {
+  switch (type) {
+    case PageEventType::kAdded:
+      return "ADDED";
+    case PageEventType::kRemoved:
+      return "REMOVED";
+    case PageEventType::kDirtied:
+      return "DIRTIED";
+    case PageEventType::kFlushed:
+      return "FLUSHED";
+  }
+  return "UNKNOWN";
+}
+
+PageCache::PageCache(uint64_t capacity_pages, std::function<SimTime()> clock)
+    : capacity_(capacity_pages), clock_(std::move(clock)) {
+  assert(capacity_ > 0);
+  assert(clock_ != nullptr);
+}
+
+void PageCache::Emit(PageEventType type, InodeNo ino, PageIdx idx) {
+  ++stats_.events_emitted;
+  PageEvent event{type, ino, idx};
+  for (PageEventListener* l : listeners_) {
+    l->OnPageEvent(event);
+  }
+}
+
+std::optional<uint64_t> PageCache::Lookup(InodeNo ino, PageIdx idx) {
+  auto ino_it = pages_.find(ino);
+  if (ino_it != pages_.end()) {
+    auto it = ino_it->second.find(idx);
+    if (it != ino_it->second.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.page.data;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+const CachedPage* PageCache::Peek(InodeNo ino, PageIdx idx) const {
+  auto ino_it = pages_.find(ino);
+  if (ino_it == pages_.end()) {
+    return nullptr;
+  }
+  auto it = ino_it->second.find(idx);
+  if (it == ino_it->second.end()) {
+    return nullptr;
+  }
+  return &it->second.page;
+}
+
+void PageCache::Insert(InodeNo ino, PageIdx idx, uint64_t data, bool dirty) {
+  auto& ino_map = pages_[ino];
+  auto it = ino_map.find(idx);
+  if (it != ino_map.end()) {
+    // Overwrite in place; only a clean->dirty transition emits an event.
+    Entry& entry = it->second;
+    entry.page.data = data;
+    lru_.splice(lru_.begin(), lru_, entry.lru_it);
+    if (dirty && !entry.page.dirty) {
+      entry.page.dirty = true;
+      entry.page.dirtied_at = clock_();
+      ++dirty_count_;
+      Emit(PageEventType::kDirtied, ino, idx);
+    }
+    return;
+  }
+  lru_.push_front(PageKey{ino, idx});
+  Entry entry;
+  entry.page.data = data;
+  entry.page.dirty = dirty;
+  entry.page.dirtied_at = dirty ? clock_() : 0;
+  entry.lru_it = lru_.begin();
+  ino_map.emplace(idx, std::move(entry));
+  ++page_count_;
+  if (dirty) {
+    ++dirty_count_;
+  }
+  ++stats_.insertions;
+  Emit(PageEventType::kAdded, ino, idx);
+  if (dirty) {
+    Emit(PageEventType::kDirtied, ino, idx);
+  }
+  EvictIfNeeded();
+}
+
+bool PageCache::MarkDirty(InodeNo ino, PageIdx idx, uint64_t data) {
+  auto ino_it = pages_.find(ino);
+  if (ino_it == pages_.end()) {
+    return false;
+  }
+  auto it = ino_it->second.find(idx);
+  if (it == ino_it->second.end()) {
+    return false;
+  }
+  Entry& entry = it->second;
+  entry.page.data = data;
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+  if (!entry.page.dirty) {
+    entry.page.dirty = true;
+    entry.page.dirtied_at = clock_();
+    ++dirty_count_;
+    Emit(PageEventType::kDirtied, ino, idx);
+  }
+  return true;
+}
+
+bool PageCache::MarkClean(InodeNo ino, PageIdx idx) {
+  auto ino_it = pages_.find(ino);
+  if (ino_it == pages_.end()) {
+    return false;
+  }
+  auto it = ino_it->second.find(idx);
+  if (it == ino_it->second.end() || !it->second.page.dirty) {
+    return false;
+  }
+  it->second.page.dirty = false;
+  --dirty_count_;
+  Emit(PageEventType::kFlushed, ino, idx);
+  EvictIfNeeded();  // newly clean pages may satisfy a pending overshoot
+  return true;
+}
+
+bool PageCache::Remove(InodeNo ino, PageIdx idx) {
+  auto ino_it = pages_.find(ino);
+  if (ino_it == pages_.end()) {
+    return false;
+  }
+  auto it = ino_it->second.find(idx);
+  if (it == ino_it->second.end()) {
+    return false;
+  }
+  if (it->second.page.dirty) {
+    --dirty_count_;
+  }
+  lru_.erase(it->second.lru_it);
+  ino_it->second.erase(it);
+  if (ino_it->second.empty()) {
+    pages_.erase(ino_it);
+  }
+  --page_count_;
+  Emit(PageEventType::kRemoved, ino, idx);
+  return true;
+}
+
+void PageCache::RemoveInode(InodeNo ino) {
+  auto ino_it = pages_.find(ino);
+  if (ino_it == pages_.end()) {
+    return;
+  }
+  // Collect indices first: Emit may re-enter observers that inspect us.
+  std::vector<PageIdx> indices;
+  indices.reserve(ino_it->second.size());
+  for (const auto& [idx, entry] : ino_it->second) {
+    indices.push_back(idx);
+  }
+  for (PageIdx idx : indices) {
+    Remove(ino, idx);
+  }
+}
+
+bool PageCache::Contains(InodeNo ino, PageIdx idx) const {
+  return Peek(ino, idx) != nullptr;
+}
+
+uint64_t PageCache::CachedPagesOfInode(InodeNo ino) const {
+  auto it = pages_.find(ino);
+  return it == pages_.end() ? 0 : it->second.size();
+}
+
+void PageCache::ForEachPage(
+    const std::function<void(InodeNo, PageIdx, const CachedPage&)>& fn) const {
+  for (const auto& [ino, ino_map] : pages_) {
+    for (const auto& [idx, entry] : ino_map) {
+      fn(ino, idx, entry.page);
+    }
+  }
+}
+
+void PageCache::ForEachPageOfInode(
+    InodeNo ino, const std::function<void(PageIdx, const CachedPage&)>& fn) const {
+  auto it = pages_.find(ino);
+  if (it == pages_.end()) {
+    return;
+  }
+  for (const auto& [idx, entry] : it->second) {
+    fn(idx, entry.page);
+  }
+}
+
+std::vector<PageCache::DirtyPageRef> PageCache::CollectDirty(SimTime not_after,
+                                                             uint64_t max) const {
+  std::vector<DirtyPageRef> out;
+  // Walk from the LRU tail (coldest first), as the kernel flusher does.
+  for (auto it = lru_.rbegin(); it != lru_.rend() && out.size() < max; ++it) {
+    const CachedPage* page = Peek(it->ino, it->idx);
+    assert(page != nullptr);
+    if (page->dirty && page->dirtied_at <= not_after) {
+      out.push_back(DirtyPageRef{it->ino, it->idx, page->data});
+    }
+  }
+  return out;
+}
+
+void PageCache::SetEvictionAdvisor(EvictionAdvisor advisor, size_t window) {
+  advisor_ = std::move(advisor);
+  advisor_window_ = window;
+}
+
+void PageCache::ClearEvictionAdvisor() { advisor_ = nullptr; }
+
+void PageCache::AddListener(PageEventListener* listener) {
+  assert(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+void PageCache::RemoveListener(PageEventListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+void PageCache::EvictIfNeeded() {
+  if (page_count_ <= capacity_) {
+    return;
+  }
+  // Evict clean pages from the LRU tail. Dirty pages are skipped; writeback
+  // cleans them and calls back here. Victims are collected first so the walk
+  // never iterates a list it is mutating.
+  std::vector<PageKey> victims;
+  uint64_t need = page_count_ - capacity_;
+  if (advisor_ != nullptr) {
+    // Informed replacement: within a window of the coldest pages, evict the
+    // ones the advisor marks (already-processed data) before plain LRU.
+    std::vector<PageKey> fallback;
+    size_t scanned = 0;
+    for (auto it = lru_.rbegin();
+         it != lru_.rend() && victims.size() < need &&
+         scanned < std::max<size_t>(advisor_window_, need);
+         ++it, ++scanned) {
+      if (*it == lru_.front()) {
+        break;
+      }
+      const CachedPage* page = Peek(it->ino, it->idx);
+      assert(page != nullptr);
+      if (page->dirty) {
+        continue;
+      }
+      if (advisor_(it->ino, it->idx)) {
+        victims.push_back(*it);
+      } else {
+        fallback.push_back(*it);
+      }
+    }
+    for (const PageKey& key : fallback) {
+      if (victims.size() >= need) {
+        break;
+      }
+      victims.push_back(key);
+    }
+  } else {
+    for (auto it = lru_.rbegin(); it != lru_.rend() && victims.size() < need; ++it) {
+      if (*it == lru_.front()) {
+        break;  // never evict the page that was just inserted/touched
+      }
+      const CachedPage* page = Peek(it->ino, it->idx);
+      assert(page != nullptr);
+      if (!page->dirty) {
+        victims.push_back(*it);
+      }
+    }
+  }
+  for (const PageKey& key : victims) {
+    ++stats_.evictions;
+    Remove(key.ino, key.idx);
+  }
+}
+
+}  // namespace duet

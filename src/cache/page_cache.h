@@ -1,0 +1,158 @@
+// Simulated page cache.
+//
+// Pages are keyed by (inode, page index) as in the Linux address_space
+// model. Content is a 64-bit token rather than a 4 KiB payload: every
+// correctness property the stack needs (checksum verification, backup/rsync
+// equality, corruption detection) is expressed over tokens, which keeps a
+// 50 GB simulated device resident in a few hundred megabytes.
+//
+// The cache emits the four Duet hook events (Added/Removed/Dirtied/Flushed)
+// synchronously to registered listeners — the exact hook surface the paper's
+// kernel patch adds to the Linux page cache (§4.1).
+//
+// Eviction is LRU over *clean* pages. Writes may transiently push the cache
+// over capacity; the writeback component cleans pages so later evictions can
+// reclaim them (mirroring dirty-ratio behaviour without blocking writers).
+#ifndef SRC_CACHE_PAGE_CACHE_H_
+#define SRC_CACHE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/page_event.h"
+#include "src/sim/time.h"
+#include "src/util/types.h"
+
+namespace duet {
+
+struct CachedPage {
+  uint64_t data = 0;
+  bool dirty = false;
+  SimTime dirtied_at = 0;
+};
+
+struct PageCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t events_emitted = 0;
+};
+
+class PageCache {
+ public:
+  // `clock` provides the current virtual time for dirty timestamps.
+  PageCache(uint64_t capacity_pages, std::function<SimTime()> clock);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  // ---- Lookup / mutation (called by the file-system layer) ----
+
+  // Returns the page data if cached, touching LRU. Counts a hit or miss.
+  std::optional<uint64_t> Lookup(InodeNo ino, PageIdx idx);
+
+  // Peeks without touching LRU or hit/miss counters (used by opportunistic
+  // readers that must not perturb recency, and by tests).
+  const CachedPage* Peek(InodeNo ino, PageIdx idx) const;
+
+  // Inserts (or overwrites) a page. `dirty` pages are timestamped. Emits
+  // kAdded for new pages and kDirtied on a clean->dirty transition. Evicts
+  // clean LRU pages if over capacity.
+  void Insert(InodeNo ino, PageIdx idx, uint64_t data, bool dirty);
+
+  // Overwrites the data of a cached page and marks it dirty, emitting
+  // kDirtied on the clean->dirty transition. Returns false if not cached.
+  bool MarkDirty(InodeNo ino, PageIdx idx, uint64_t data);
+
+  // Clears the dirty bit after writeback, emitting kFlushed. Returns false
+  // if the page is not cached or not dirty.
+  bool MarkClean(InodeNo ino, PageIdx idx);
+
+  // Removes a page (emits kRemoved). Returns false if absent.
+  bool Remove(InodeNo ino, PageIdx idx);
+
+  // Removes every page of `ino` (truncate/delete). Emits kRemoved for each.
+  void RemoveInode(InodeNo ino);
+
+  // ---- Introspection (used by Duet and the writeback component) ----
+
+  bool Contains(InodeNo ino, PageIdx idx) const;
+  uint64_t PageCount() const { return page_count_; }
+  uint64_t DirtyCount() const { return dirty_count_; }
+  uint64_t capacity() const { return capacity_; }
+
+  // Number of cached pages belonging to `ino` (defrag/rsync prioritization).
+  uint64_t CachedPagesOfInode(InodeNo ino) const;
+
+  // Iterates over every cached page (Duet's registration-time scan).
+  void ForEachPage(const std::function<void(InodeNo, PageIdx, const CachedPage&)>& fn) const;
+
+  // Iterates over the pages of one inode.
+  void ForEachPageOfInode(
+      InodeNo ino, const std::function<void(PageIdx, const CachedPage&)>& fn) const;
+
+  // Collects up to `max` dirty pages that were dirtied at or before
+  // `not_after`, in LRU order (oldest first). Used by writeback.
+  struct DirtyPageRef {
+    InodeNo ino;
+    PageIdx idx;
+    uint64_t data;
+  };
+  std::vector<DirtyPageRef> CollectDirty(SimTime not_after, uint64_t max) const;
+
+  // ---- Hook registration ----
+
+  void AddListener(PageEventListener* listener);
+  void RemoveListener(PageEventListener* listener);
+
+  // ---- Informed replacement (the PACMan-style extension the paper's §2
+  // anticipates) ----
+  // The advisor returns true for pages that are good eviction victims (e.g.
+  // already processed by every maintenance session). When set, eviction
+  // scans up to `window` LRU-tail entries and evicts advised pages first,
+  // falling back to plain LRU order.
+  using EvictionAdvisor = std::function<bool(InodeNo, PageIdx)>;
+  void SetEvictionAdvisor(EvictionAdvisor advisor, size_t window = 64);
+  void ClearEvictionAdvisor();
+
+  const PageCacheStats& stats() const { return stats_; }
+
+ private:
+  struct PageKey {
+    InodeNo ino;
+    PageIdx idx;
+    bool operator==(const PageKey&) const = default;
+  };
+  struct PageKeyHash {
+    size_t operator()(const PageKey& k) const {
+      return std::hash<uint64_t>()(k.ino * 0x9e3779b97f4a7c15ULL ^ k.idx);
+    }
+  };
+  struct Entry {
+    CachedPage page;
+    std::list<PageKey>::iterator lru_it;
+  };
+
+  void Emit(PageEventType type, InodeNo ino, PageIdx idx);
+  void EvictIfNeeded();
+
+  uint64_t capacity_;
+  std::function<SimTime()> clock_;
+  std::unordered_map<InodeNo, std::unordered_map<PageIdx, Entry>> pages_;
+  std::list<PageKey> lru_;  // front = most recently used
+  uint64_t page_count_ = 0;
+  uint64_t dirty_count_ = 0;
+  std::vector<PageEventListener*> listeners_;
+  EvictionAdvisor advisor_;
+  size_t advisor_window_ = 64;
+  PageCacheStats stats_;
+};
+
+}  // namespace duet
+
+#endif  // SRC_CACHE_PAGE_CACHE_H_

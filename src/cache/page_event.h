@@ -1,0 +1,36 @@
+// Page-cache event types — the four events Duet hooks (paper Table 2).
+#ifndef SRC_CACHE_PAGE_EVENT_H_
+#define SRC_CACHE_PAGE_EVENT_H_
+
+#include <cstdint>
+
+#include "src/util/types.h"
+
+namespace duet {
+
+enum class PageEventType : uint8_t {
+  kAdded = 0,    // page added to the cache
+  kRemoved = 1,  // page removed from the cache
+  kDirtied = 2,  // dirty bit set
+  kFlushed = 3,  // dirty bit cleared (written back)
+};
+
+const char* PageEventTypeName(PageEventType type);
+
+struct PageEvent {
+  PageEventType type;
+  InodeNo ino;
+  PageIdx idx;
+};
+
+// Implemented by the Duet framework; the page cache invokes listeners on
+// every page event, synchronously and in registration order.
+class PageEventListener {
+ public:
+  virtual ~PageEventListener() = default;
+  virtual void OnPageEvent(const PageEvent& event) = 0;
+};
+
+}  // namespace duet
+
+#endif  // SRC_CACHE_PAGE_EVENT_H_

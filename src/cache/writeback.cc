@@ -1,0 +1,122 @@
+#include "src/cache/writeback.h"
+
+#include <cassert>
+#include <utility>
+
+namespace duet {
+
+Writeback::Writeback(EventLoop* loop, PageCache* cache, WritebackTarget* target,
+                     WritebackParams params)
+    : loop_(loop), cache_(cache), target_(target), params_(params) {
+  assert(loop_ != nullptr && cache_ != nullptr && target_ != nullptr);
+  cache_->AddListener(this);
+}
+
+Writeback::~Writeback() { cache_->RemoveListener(this); }
+
+void Writeback::OnPageEvent(const PageEvent& event) {
+  if (event.type == PageEventType::kDirtied) {
+    NoteDirty();
+  }
+}
+
+void Writeback::Start() {
+  started_ = true;
+  NoteDirty();
+}
+
+void Writeback::Stop() {
+  started_ = false;
+  if (tick_event_ != kInvalidEvent) {
+    loop_->Cancel(tick_event_);
+    tick_event_ = kInvalidEvent;
+  }
+}
+
+void Writeback::NoteDirty() {
+  if (!started_ || tick_event_ != kInvalidEvent || cache_->DirtyCount() == 0) {
+    return;
+  }
+  tick_event_ = loop_->ScheduleAfter(params_.period, [this] { PeriodicTick(); });
+}
+
+void Writeback::PeriodicTick() {
+  tick_event_ = kInvalidEvent;
+  RunPass(/*force=*/false, nullptr);
+  // Re-arm only while dirty pages remain (or a pass is still running, which
+  // may leave re-dirtied pages behind).
+  if (started_ && (cache_->DirtyCount() > 0 || pass_in_flight_)) {
+    tick_event_ = loop_->ScheduleAfter(params_.period, [this] { PeriodicTick(); });
+  }
+}
+
+void Writeback::MaybeKick() {
+  NoteDirty();
+  double ratio = static_cast<double>(cache_->DirtyCount()) /
+                 static_cast<double>(cache_->capacity());
+  if (ratio < params_.dirty_ratio) {
+    return;
+  }
+  if (pass_in_flight_) {
+    kick_pending_ = true;  // re-run as soon as the current pass completes
+    return;
+  }
+  RunPass(/*force=*/true, nullptr);
+}
+
+void Writeback::Sync(std::function<void()> done) {
+  if (cache_->DirtyCount() == 0 && !pass_in_flight_) {
+    if (done) {
+      done();
+    }
+    return;
+  }
+  RunPass(/*force=*/true, [this, done = std::move(done)]() mutable {
+    Sync(std::move(done));  // keep flushing until the cache is clean
+  });
+}
+
+void Writeback::RunPass(bool force, std::function<void()> after) {
+  if (pass_in_flight_) {
+    // A pass is already running; queue continuation behind it.
+    if (after) {
+      loop_->ScheduleAfter(params_.period / 4, [this, a = std::move(after)]() mutable {
+        RunPass(true, std::move(a));
+      });
+    } else {
+      kick_pending_ = true;
+    }
+    return;
+  }
+  SimTime now = loop_->now();
+  if (!force && now < params_.dirty_expire) {
+    // Nothing can be old enough yet.
+    if (after) {
+      after();
+    }
+    return;
+  }
+  SimTime not_after = force ? now : now - params_.dirty_expire;
+  auto pages = cache_->CollectDirty(not_after, params_.batch_pages);
+  if (pages.empty()) {
+    if (after) {
+      after();
+    }
+    return;
+  }
+  pass_in_flight_ = true;
+  target_->WritebackPages(std::move(pages), [this, after = std::move(after)]() mutable {
+    pass_in_flight_ = false;
+    NoteDirty();  // re-arm the timer if dirty pages remain
+    if (kick_pending_) {
+      kick_pending_ = false;
+      RunPass(/*force=*/true, std::move(after));
+      return;
+    }
+    if (after) {
+      after();
+    }
+  });
+}
+
+}  // namespace duet

@@ -1,0 +1,444 @@
+#include "src/cowfs/cowfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "src/util/crc32c.h"
+
+namespace duet {
+
+CowFs::CowFs(EventLoop* loop, BlockDevice* device, uint64_t cache_pages,
+             WritebackParams wb_params)
+    : FileSystem(loop, device, cache_pages, wb_params),
+      allocated_(device->capacity_blocks()),
+      refcount_(device->capacity_blocks(), 0),
+      disk_csum_(device->capacity_blocks(), 0) {}
+
+uint32_t CowFs::TokenChecksum(uint64_t token) {
+  return Crc32c(&token, sizeof(token));
+}
+
+bool CowFs::BlockChecksumOk(BlockNo block) const {
+  return disk_csum_[block] == TokenChecksum(disk_data_[block]);
+}
+
+void CowFs::CorruptBlock(BlockNo block) {
+  disk_data_[block] ^= 0xdeadbeefcafef00dULL;
+}
+
+Result<BlockNo> CowFs::AllocBlock(BlockNo hint) {
+  if (hint >= capacity_blocks()) {
+    hint = 0;
+  }
+  std::optional<BlockNo> found = allocated_.FindNextClear(hint);
+  if (!found.has_value()) {
+    found = allocated_.FindNextClear(0);
+  }
+  if (!found.has_value()) {
+    return Status(StatusCode::kNoSpace, "cowfs full");
+  }
+  allocated_.Set(*found);
+  ++allocated_blocks_;
+  alloc_cursor_ = *found + 1;
+  return *found;
+}
+
+void CowFs::Incref(BlockNo block) {
+  assert(allocated_.Test(block));
+  ++refcount_[block];
+}
+
+void CowFs::Decref(BlockNo block) {
+  assert(allocated_.Test(block));
+  assert(refcount_[block] > 0);
+  if (--refcount_[block] == 0) {
+    allocated_.Clear(block);
+    --allocated_blocks_;
+    ClearOwner(block);
+  }
+}
+
+Result<BlockNo> CowFs::AllocateForWrite(InodeNo ino, PageIdx idx, BlockNo old_block) {
+  if (old_block != kInvalidBlock) {
+    // Same-transaction optimization: if the previous block is exclusively
+    // ours (no snapshot reference) and its page is still dirty (never
+    // flushed), rewrite it in place rather than COWing again.
+    const CachedPage* page = cache_.Peek(ino, idx);
+    if (refcount_[old_block] == 1 && page != nullptr && page->dirty) {
+      return old_block;
+    }
+  }
+  // Place the copy near the old block, or extend past the previous page.
+  BlockNo hint = alloc_cursor_;
+  if (old_block != kInvalidBlock) {
+    hint = old_block + 1;
+  } else if (idx > 0) {
+    if (Result<BlockNo> prev = Bmap(ino, idx - 1); prev.ok()) {
+      hint = *prev + 1;
+    }
+  }
+  Result<BlockNo> fresh = AllocBlock(hint);
+  if (!fresh.ok()) {
+    return fresh;
+  }
+  refcount_[*fresh] = 1;
+  if (old_block != kInvalidBlock) {
+    Decref(old_block);
+  }
+  SetMapping(ino, idx, *fresh);
+  return fresh;
+}
+
+void CowFs::FreeFileBlocks(InodeNo ino) {
+  auto it = fmap_.find(ino);
+  if (it == fmap_.end()) {
+    return;
+  }
+  for (BlockNo block : it->second.blocks) {
+    if (block != kInvalidBlock) {
+      Decref(block);
+    }
+  }
+}
+
+Status CowFs::OnDiskBlockRead(BlockNo block, uint64_t token) {
+  if (allocated_.Test(block) && disk_csum_[block] != TokenChecksum(token)) {
+    ++checksum_errors_detected_;
+    return Status(StatusCode::kCorruption, "checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+void CowFs::OnBlockFlushed(BlockNo block, uint64_t token) {
+  FileSystem::OnBlockFlushed(block, token);
+  disk_csum_[block] = TokenChecksum(token);
+}
+
+std::optional<BlockNo> CowFs::NextAllocated(BlockNo from) const {
+  return allocated_.FindNextSet(from);
+}
+
+void CowFs::ReadRawBlocks(BlockNo start, uint32_t count, IoClass io_class,
+                          bool populate_cache,
+                          std::function<void(const RawReadResult&)> cb) {
+  // Collect allocated blocks in the range and coalesce them into runs.
+  std::vector<std::pair<BlockNo, uint32_t>> runs;
+  BlockNo cursor = start;
+  BlockNo end = std::min<BlockNo>(start + count, capacity_blocks());
+  while (cursor < end) {
+    std::optional<BlockNo> next = allocated_.FindNextSet(cursor);
+    if (!next.has_value() || *next >= end) {
+      break;
+    }
+    BlockNo run_start = *next;
+    BlockNo run_end = run_start;
+    while (run_end < end && allocated_.Test(run_end)) {
+      ++run_end;
+    }
+    runs.emplace_back(run_start, static_cast<uint32_t>(run_end - run_start));
+    cursor = run_end;
+  }
+  auto result = std::make_shared<RawReadResult>();
+  if (runs.empty()) {
+    loop_->ScheduleAfter(0, [cb = std::move(cb), result] { cb(*result); });
+    return;
+  }
+  auto outstanding = std::make_shared<uint64_t>(runs.size());
+  auto cb_shared = std::make_shared<std::function<void(const RawReadResult&)>>(std::move(cb));
+  for (const auto& [run_start, run_count] : runs) {
+    IoRequest req;
+    req.block = run_start;
+    req.count = run_count;
+    req.dir = IoDir::kRead;
+    req.io_class = io_class;
+    ++result->device_ops;
+    req.done = [this, run_start, run_count, populate_cache, result, outstanding,
+                cb_shared] {
+      for (BlockNo b = run_start; b < run_start + run_count; ++b) {
+        ++result->blocks_read;
+        if (allocated_.Test(b) && !BlockChecksumOk(b)) {
+          ++result->checksum_errors;
+          ++checksum_errors_detected_;
+          result->status = Status(StatusCode::kCorruption, "checksum mismatch");
+        }
+        if (populate_cache) {
+          Result<BlockOwner> owner = Rmap(b);
+          if (owner.ok() && !cache_.Contains(owner->ino, owner->idx)) {
+            cache_.Insert(owner->ino, owner->idx, disk_data_[b], /*dirty=*/false);
+          }
+        }
+      }
+      if (--*outstanding == 0) {
+        (*cb_shared)(*result);
+      }
+    };
+    device_->Submit(std::move(req));
+  }
+}
+
+Result<SnapshotId> CowFs::CreateSnapshot() {
+  assert(cache_.DirtyCount() == 0 && "sync before snapshotting");
+  Snapshot snap;
+  snap.id = next_snapshot_id_++;
+  ns_.ForEachInode([&](const Inode& inode) {
+    if (inode.is_dir()) {
+      return;
+    }
+    auto it = fmap_.find(inode.ino);
+    if (it == fmap_.end()) {
+      return;
+    }
+    SnapshotFile file;
+    file.size = inode.size;
+    file.blocks.assign(it->second.blocks.begin(),
+                       it->second.blocks.begin() +
+                           static_cast<long>(std::min<uint64_t>(
+                               it->second.blocks.size(), inode.PageCount())));
+    for (BlockNo block : file.blocks) {
+      if (block != kInvalidBlock) {
+        Incref(block);
+      }
+    }
+    snap.files.emplace(inode.ino, std::move(file));
+  });
+  SnapshotId id = snap.id;
+  snapshots_.emplace(id, std::move(snap));
+  return id;
+}
+
+void CowFs::CreateSnapshotAsync(std::function<void(Result<SnapshotId>)> cb) {
+  writeback_.Sync([this, cb = std::move(cb)] { cb(CreateSnapshot()); });
+}
+
+Status CowFs::DeleteSnapshot(SnapshotId id) {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end()) {
+    return Status(StatusCode::kNotFound);
+  }
+  for (const auto& [ino, file] : it->second.files) {
+    for (BlockNo block : file.blocks) {
+      if (block != kInvalidBlock) {
+        Decref(block);
+      }
+    }
+  }
+  snapshots_.erase(it);
+  return Status::Ok();
+}
+
+const CowFs::Snapshot* CowFs::GetSnapshot(SnapshotId id) const {
+  auto it = snapshots_.find(id);
+  return it == snapshots_.end() ? nullptr : &it->second;
+}
+
+bool CowFs::SharedWithSnapshot(SnapshotId id, InodeNo ino, PageIdx idx) const {
+  const Snapshot* snap = GetSnapshot(id);
+  if (snap == nullptr) {
+    return false;
+  }
+  auto it = snap->files.find(ino);
+  if (it == snap->files.end() || idx >= it->second.blocks.size()) {
+    return false;
+  }
+  Result<BlockNo> live = Bmap(ino, idx);
+  return live.ok() && *live == it->second.blocks[idx];
+}
+
+uint64_t CowFs::ExtentCount(InodeNo ino) const {
+  auto it = fmap_.find(ino);
+  if (it == fmap_.end() || it->second.blocks.empty()) {
+    return 0;
+  }
+  uint64_t extents = 0;
+  BlockNo prev = kInvalidBlock;
+  for (BlockNo block : it->second.blocks) {
+    if (block == kInvalidBlock) {
+      prev = kInvalidBlock;
+      continue;
+    }
+    if (prev == kInvalidBlock || block != prev + 1) {
+      ++extents;
+    }
+    prev = block;
+  }
+  return extents;
+}
+
+Result<std::vector<std::pair<BlockNo, uint32_t>>> CowFs::AllocContiguous(uint64_t n) {
+  std::vector<std::pair<BlockNo, uint32_t>> runs;
+  uint64_t remaining = n;
+  BlockNo scan = alloc_cursor_;
+  bool wrapped = false;
+  while (remaining > 0) {
+    std::optional<BlockNo> next = allocated_.FindNextClear(scan);
+    if (!next.has_value()) {
+      if (wrapped) {
+        break;
+      }
+      wrapped = true;
+      scan = 0;
+      continue;
+    }
+    BlockNo run_start = *next;
+    BlockNo run_end = run_start;
+    while (run_end < capacity_blocks() && !allocated_.Test(run_end) &&
+           run_end - run_start < remaining) {
+      ++run_end;
+    }
+    uint32_t len = static_cast<uint32_t>(run_end - run_start);
+    runs.emplace_back(run_start, len);
+    remaining -= len;
+    scan = run_end;
+    if (scan >= capacity_blocks()) {
+      if (wrapped) {
+        break;
+      }
+      wrapped = true;
+      scan = 0;
+    }
+  }
+  if (remaining > 0) {
+    // Roll back: nothing was marked yet (marking happens in the caller).
+    return Status(StatusCode::kNoSpace, "not enough free blocks");
+  }
+  return runs;
+}
+
+void CowFs::DefragFile(InodeNo ino, IoClass io_class,
+                       std::function<void(const DefragResult&)> cb) {
+  const Inode* inode = ns_.Get(ino);
+  auto result = std::make_shared<DefragResult>();
+  auto finish = [this, cb = std::move(cb), result](Status status) {
+    result->status = std::move(status);
+    loop_->ScheduleAfter(0, [cb, result] { cb(*result); });
+  };
+  if (inode == nullptr || inode->is_dir()) {
+    finish(Status(StatusCode::kNotFound, "bad inode for defrag"));
+    return;
+  }
+  uint64_t npages = inode->PageCount();
+  if (npages == 0) {
+    finish(Status::Ok());
+    return;
+  }
+  result->pages = npages;
+  result->extents_before = ExtentCount(ino);
+
+  // Phase 1: bring the whole file into memory (cache hits are free).
+  Read(ino, 0, inode->size, io_class, [this, ino, npages, io_class, result,
+                                       finish](const FsIoResult& read) {
+    if (!read.status.ok()) {
+      finish(read.status);
+      return;
+    }
+    result->pages_from_cache = read.pages_from_cache;
+    result->pages_read_disk = read.pages_from_disk;
+
+    // Count pages the workload had already dirtied: their writeback was due
+    // anyway, so the paper counts them as saved write I/O (§6.2).
+    for (PageIdx p = 0; p < npages; ++p) {
+      const CachedPage* page = cache_.Peek(ino, p);
+      if (page != nullptr && page->dirty) {
+        ++result->dirty_pages;
+      }
+    }
+
+    // Phase 2: allocate a contiguous destination and move the mapping.
+    Result<std::vector<std::pair<BlockNo, uint32_t>>> runs = AllocContiguous(npages);
+    if (!runs.ok()) {
+      finish(runs.status());
+      return;
+    }
+    // Mark the new blocks allocated and remap pages onto them.
+    std::vector<BlockNo> new_blocks;
+    new_blocks.reserve(npages);
+    for (const auto& [start, count] : *runs) {
+      for (BlockNo b = start; b < start + count; ++b) {
+        allocated_.Set(b);
+        ++allocated_blocks_;
+        refcount_[b] = 1;
+        new_blocks.push_back(b);
+      }
+    }
+    std::vector<uint64_t> tokens(npages, 0);
+    for (PageIdx p = 0; p < npages; ++p) {
+      BlockNo old_block = kInvalidBlock;
+      if (Result<BlockNo> mapped = Bmap(ino, p); mapped.ok()) {
+        old_block = *mapped;
+      }
+      const CachedPage* page = cache_.Peek(ino, p);
+      // The read above cached every page; a concurrent eviction could drop
+      // one, in which case we fall back to its on-disk content.
+      tokens[p] = (page != nullptr)           ? page->data
+                  : (old_block != kInvalidBlock) ? disk_data_[old_block]
+                                                 : 0;
+      SetMapping(ino, p, new_blocks[p]);
+      if (old_block != kInvalidBlock) {
+        Decref(old_block);
+      }
+    }
+
+    // Phase 3: write the new extent(s) as one transaction.
+    auto outstanding = std::make_shared<uint64_t>(runs->size());
+    uint64_t base_page = 0;
+    for (const auto& [start, count] : *runs) {
+      IoRequest req;
+      req.block = start;
+      req.count = count;
+      req.dir = IoDir::kWrite;
+      req.io_class = io_class;
+      uint64_t first_page = base_page;
+      req.done = [this, ino, start = start, count = count, first_page, tokens, result,
+                  outstanding, finish] {
+        for (uint32_t k = 0; k < count; ++k) {
+          PageIdx p = first_page + k;
+          OnBlockFlushed(start + k, tokens[p]);
+          ++result->pages_written;
+          const CachedPage* page = cache_.Peek(ino, p);
+          if (page != nullptr && page->dirty && page->data == tokens[p]) {
+            cache_.MarkClean(ino, p);
+          }
+        }
+        if (--*outstanding == 0) {
+          result->extents_after = ExtentCount(ino);
+          finish(Status::Ok());
+        }
+      };
+      base_page += count;
+      device_->Submit(std::move(req));
+    }
+  });
+}
+
+Result<InodeNo> CowFs::PopulateFragmentedFile(std::string_view path, uint64_t bytes,
+                                              double break_prob, Rng& rng) {
+  Result<InodeNo> created = ns_.Create(path, FileType::kRegular);
+  if (!created.ok()) {
+    return created;
+  }
+  InodeNo ino = *created;
+  uint64_t npages = PagesForBytes(bytes);
+  // The random jumps below must not leak into subsequent allocations, or
+  // every file populated afterwards would inherit the fragmentation.
+  BlockNo saved_cursor = alloc_cursor_;
+  for (PageIdx p = 0; p < npages; ++p) {
+    if (rng.Chance(break_prob)) {
+      alloc_cursor_ = rng.Uniform(capacity_blocks());
+    }
+    Result<BlockNo> block = AllocBlock(alloc_cursor_);
+    if (!block.ok()) {
+      alloc_cursor_ = saved_cursor;
+      return block.status();
+    }
+    refcount_[*block] = 1;
+    SetMapping(ino, p, *block);
+    OnBlockFlushed(*block, NextToken());
+  }
+  ns_.GetMutable(ino)->size = bytes;
+  alloc_cursor_ = saved_cursor;
+  return ino;
+}
+
+}  // namespace duet

@@ -1,0 +1,141 @@
+// cowfs: a Btrfs-like copy-on-write file system over the simulated stack.
+//
+// Mechanisms the paper's tasks rely on (§5):
+//  * per-block CRC32C checksums, verified on every read path — the scrubber's
+//    correctness guarantee and the reason a page Added event means "verified";
+//  * copy-on-write: every write allocates a new block, breaking sharing with
+//    snapshots (the backup task's staleness signal);
+//  * refcounted snapshots with back references (SharedWithSnapshot);
+//  * extent fragmentation metrics and a defragmentation primitive.
+#ifndef SRC_COWFS_COWFS_H_
+#define SRC_COWFS_COWFS_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fs/file_system.h"
+#include "src/util/bitmap.h"
+#include "src/util/rng.h"
+
+namespace duet {
+
+using SnapshotId = uint64_t;
+
+struct DefragResult {
+  Status status;
+  uint64_t pages = 0;             // pages in the file
+  uint64_t pages_read_disk = 0;   // read I/O actually performed
+  uint64_t pages_from_cache = 0;  // reads saved by the cache
+  uint64_t dirty_pages = 0;       // pages that were already dirty (write I/O
+                                  // the workload would have issued anyway)
+  uint64_t pages_written = 0;     // write I/O performed
+  uint64_t extents_before = 0;
+  uint64_t extents_after = 0;
+};
+
+class CowFs : public FileSystem {
+ public:
+  CowFs(EventLoop* loop, BlockDevice* device, uint64_t cache_pages,
+        WritebackParams wb_params = WritebackParams());
+
+  // ---- Checksums ----
+  static uint32_t TokenChecksum(uint64_t token);
+  // Verifies the on-disk copy of `block` against its stored checksum.
+  bool BlockChecksumOk(BlockNo block) const;
+  // Flips on-disk bits without updating the checksum (failure injection).
+  void CorruptBlock(BlockNo block);
+  uint64_t checksum_errors_detected() const { return checksum_errors_detected_; }
+
+  // ---- Raw block reads (scrubber; backup's unshared blocks) ----
+  // Reads `count` blocks at `start` from the device, verifying checksums of
+  // allocated blocks. Unallocated blocks in the range are skipped without
+  // I/O. With `populate_cache`, blocks owned by a live file page are
+  // inserted into the page cache (clean), surfacing the access to Duet —
+  // this is how one maintenance pass serves other tasks (§6.3).
+  void ReadRawBlocks(BlockNo start, uint32_t count, IoClass io_class,
+                     bool populate_cache,
+                     std::function<void(const RawReadResult&)> cb);
+
+  // ---- Allocation map queries (scrubber traversal) ----
+  bool IsAllocated(BlockNo block) const { return allocated_.Test(block); }
+  // First allocated block at or after `from`.
+  std::optional<BlockNo> NextAllocated(BlockNo from) const;
+
+  // ---- Snapshots (backup substrate) ----
+  struct SnapshotFile {
+    uint64_t size = 0;
+    std::vector<BlockNo> blocks;
+  };
+  struct Snapshot {
+    SnapshotId id = 0;
+    // Ordered by inode number: the backup tool processes files in inode
+    // order (paper Table 3).
+    std::map<InodeNo, SnapshotFile> files;
+  };
+
+  // Takes a snapshot of every regular file. Requires a clean cache (callers
+  // use CreateSnapshotAsync to sync first); asserts otherwise.
+  Result<SnapshotId> CreateSnapshot();
+  // Flushes dirty data, then snapshots.
+  void CreateSnapshotAsync(std::function<void(Result<SnapshotId>)> cb);
+  Status DeleteSnapshot(SnapshotId id);
+  const Snapshot* GetSnapshot(SnapshotId id) const;
+
+  // True if page `idx` of `ino` still shares its block with the snapshot
+  // (i.e. has not been modified since) — the Btrfs back-reference check the
+  // opportunistic backup performs (§5.2).
+  bool SharedWithSnapshot(SnapshotId id, InodeNo ino, PageIdx idx) const;
+
+  // ---- Fragmentation / defragmentation ----
+  // Number of contiguous extents backing the file (1 = fully contiguous).
+  uint64_t ExtentCount(InodeNo ino) const;
+
+  // Rewrites the file into (as close as possible to) one contiguous extent:
+  // reads all pages (cache hits are free), allocates a new contiguous run,
+  // writes every page at `io_class`, remaps, and frees the old blocks.
+  void DefragFile(InodeNo ino, IoClass io_class,
+                  std::function<void(const DefragResult&)> cb);
+
+  // Populates a file whose extents are deliberately broken: after each page,
+  // the allocation cursor jumps with probability `break_prob`.
+  Result<InodeNo> PopulateFragmentedFile(std::string_view path, uint64_t bytes,
+                                         double break_prob, Rng& rng);
+
+  // FileSystem aging hook: fragments according to break_prob.
+  Result<InodeNo> PopulateFileAged(std::string_view path, uint64_t bytes,
+                                   double break_prob, Rng& rng) override {
+    return PopulateFragmentedFile(path, bytes, break_prob, rng);
+  }
+
+  uint64_t free_blocks() const { return capacity_blocks() - allocated_.Count(); }
+  uint32_t BlockRefcount(BlockNo block) const { return refcount_[block]; }
+
+ protected:
+  Result<BlockNo> AllocateForWrite(InodeNo ino, PageIdx idx, BlockNo old_block) override;
+  void FreeFileBlocks(InodeNo ino) override;
+  Status OnDiskBlockRead(BlockNo block, uint64_t token) override;
+  void OnBlockFlushed(BlockNo block, uint64_t token) override;
+
+ private:
+  // Allocates one free block, next-fit from `hint`.
+  Result<BlockNo> AllocBlock(BlockNo hint);
+  // Allocates `n` contiguous free blocks; falls back to the longest runs
+  // available. Returns the start blocks of the runs covering n blocks total.
+  Result<std::vector<std::pair<BlockNo, uint32_t>>> AllocContiguous(uint64_t n);
+  void Incref(BlockNo block);
+  void Decref(BlockNo block);
+
+  Bitmap allocated_;
+  std::vector<uint32_t> refcount_;
+  std::vector<uint32_t> disk_csum_;
+  BlockNo alloc_cursor_ = 0;
+  SnapshotId next_snapshot_id_ = 1;
+  std::unordered_map<SnapshotId, Snapshot> snapshots_;
+  uint64_t checksum_errors_detected_ = 0;
+};
+
+}  // namespace duet
+
+#endif  // SRC_COWFS_COWFS_H_

@@ -1,0 +1,661 @@
+#include "src/duet/duet_core.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace duet {
+namespace {
+
+uint8_t EventBit(PageEventType type) {
+  switch (type) {
+    case PageEventType::kAdded:
+      return kDuetPageAdded;
+    case PageEventType::kRemoved:
+      return kDuetPageRemoved;
+    case PageEventType::kDirtied:
+      return kDuetPageDirtied;
+    case PageEventType::kFlushed:
+      return kDuetPageFlushed;
+  }
+  return 0;
+}
+
+// State bit affected by an event (Table 2's pairing).
+uint8_t AffectedStateBit(PageEventType type) {
+  switch (type) {
+    case PageEventType::kAdded:
+    case PageEventType::kRemoved:
+      return kDuetPageExists;
+    case PageEventType::kDirtied:
+    case PageEventType::kFlushed:
+      return kDuetPageModified;
+  }
+  return 0;
+}
+
+}  // namespace
+
+DuetCore::DuetCore(FileSystem* fs, DuetConfig config) : fs_(fs), config_(config) {
+  assert(fs_ != nullptr);
+  assert(config_.max_sessions <= kMaxSessionsHard);
+  fs_->cache().AddListener(this);
+  fs_->ns().AddObserver(this);
+}
+
+DuetCore::~DuetCore() {
+  fs_->cache().RemoveListener(this);
+  fs_->ns().RemoveObserver(this);
+}
+
+Result<SessionId> DuetCore::AllocateSession(uint8_t mask) {
+  if ((mask & (kDuetEventMask | kDuetStateMask)) == 0) {
+    return Status(StatusCode::kInvalidArgument, "empty notification mask");
+  }
+  for (SessionId sid = 0; sid < config_.max_sessions; ++sid) {
+    if (!sessions_[sid].active) {
+      Session& s = sessions_[sid];
+      s = Session{};
+      s.active = true;
+      s.mask = mask;
+      ++active_sessions_;
+      return sid;
+    }
+  }
+  return Status(StatusCode::kLimit, "session table full");
+}
+
+Result<SessionId> DuetCore::RegisterFileTask(std::string_view path, uint8_t mask) {
+  Result<InodeNo> dir = fs_->ns().Resolve(path);
+  if (!dir.ok()) {
+    return dir.status();
+  }
+  const Inode* inode = fs_->ns().Get(*dir);
+  if (inode == nullptr || !inode->is_dir()) {
+    return Status(StatusCode::kInvalidArgument, "registered path is not a directory");
+  }
+  Result<SessionId> sid = AllocateSession(mask);
+  if (!sid.ok()) {
+    return sid;
+  }
+  Session& s = sessions_[*sid];
+  s.is_block = false;
+  s.registered_dir = *dir;
+  uint64_t inode_bits = fs_->ns().max_ino() + 4096;
+  s.done.Resize(inode_bits);
+  s.relevant.Resize(inode_bits);
+  InitialScan(*sid);
+  return sid;
+}
+
+Result<SessionId> DuetCore::RegisterBlockTask(uint8_t mask) {
+  Result<SessionId> sid = AllocateSession(mask);
+  if (!sid.ok()) {
+    return sid;
+  }
+  Session& s = sessions_[*sid];
+  s.is_block = true;
+  s.done.Resize(fs_->capacity_blocks());
+  InitialScan(*sid);
+  return sid;
+}
+
+Status DuetCore::Deregister(SessionId sid) {
+  if (sid >= config_.max_sessions || !sessions_[sid].active) {
+    return Status(StatusCode::kNotFound, "no such session");
+  }
+  Session& s = sessions_[sid];
+  s.active = false;
+  // Clear this session's bytes in every descriptor and drop empties.
+  std::vector<PageKey> keys;
+  keys.reserve(descriptors_.size());
+  for (auto& [key, d] : descriptors_) {
+    d.flags[sid] = 0;
+    keys.push_back(key);
+  }
+  for (const PageKey& key : keys) {
+    MaybeFreeDescriptor(key);
+  }
+  s.queue.clear();
+  s.done.Reset();
+  s.relevant.Reset();
+  s.pending = 0;
+  --active_sessions_;
+  return Status::Ok();
+}
+
+void DuetCore::EnsureInodeCapacity(InodeNo ino) {
+  for (uint32_t sid = 0; sid < config_.max_sessions; ++sid) {
+    Session& s = sessions_[sid];
+    if (s.active && !s.is_block && ino >= s.done.size()) {
+      uint64_t bits = std::max<uint64_t>(ino + 1, s.done.size() * 2);
+      s.done.Resize(bits);
+      s.relevant.Resize(bits);
+    }
+  }
+}
+
+DuetCore::Descriptor& DuetCore::GetOrCreateDescriptor(const PageKey& key) {
+  auto it = descriptors_.find(key);
+  if (it == descriptors_.end()) {
+    Descriptor d;
+    const CachedPage* page = fs_->cache().Peek(key.ino, key.idx);
+    d.cur_exists = page != nullptr;
+    d.cur_modified = page != nullptr && page->dirty;
+    it = descriptors_.emplace(key, d).first;
+    inode_index_[key.ino].insert(key.idx);
+  }
+  return it->second;
+}
+
+bool DuetCore::DescriptorNeeded(const Descriptor& d) const {
+  for (uint32_t sid = 0; sid < config_.max_sessions; ++sid) {
+    const Session& s = sessions_[sid];
+    if (!s.active) {
+      continue;
+    }
+    // Unfetched-but-cancelled notifications (e.g. a page added and evicted
+    // between fetches) do NOT keep a descriptor alive — that is what gives
+    // the paper's 2x-cache-pages bound for state sessions (§4.2). A stale
+    // fetch-queue entry is skipped harmlessly later.
+    if (HasPending(s, sid, d)) {
+      return true;
+    }
+    // Keep the descriptor while the page is cached and some state session
+    // exists: its reported-state snapshot is live context.
+    if (SubscribesState(s) && d.cur_exists) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DuetCore::MaybeFreeDescriptor(const PageKey& key) {
+  auto it = descriptors_.find(key);
+  if (it == descriptors_.end() || DescriptorNeeded(it->second)) {
+    return;
+  }
+  // Reconcile queue accounting: freeing a queued descriptor leaves a stale
+  // deque entry behind, which Fetch skips.
+  for (uint32_t sid = 0; sid < config_.max_sessions; ++sid) {
+    Session& s = sessions_[sid];
+    if (s.active && (it->second.flags[sid] & kQueued) != 0) {
+      assert(s.pending > 0);
+      --s.pending;
+    }
+  }
+  descriptors_.erase(it);
+  auto idx_it = inode_index_.find(key.ino);
+  if (idx_it != inode_index_.end()) {
+    idx_it->second.erase(key.idx);
+    if (idx_it->second.empty()) {
+      inode_index_.erase(idx_it);
+    }
+  }
+}
+
+bool DuetCore::HasPending(const Session& s, SessionId sid, const Descriptor& d) const {
+  uint8_t byte = d.flags[sid];
+  if ((byte & kPendingEventMask) != 0) {
+    return true;
+  }
+  if ((s.mask & kDuetPageExists) != 0 &&
+      ((byte & kReportedExists) != 0) != d.cur_exists) {
+    return true;
+  }
+  if ((s.mask & kDuetPageModified) != 0 &&
+      ((byte & kReportedModified) != 0) != d.cur_modified) {
+    return true;
+  }
+  return false;
+}
+
+bool DuetCore::EnsureQueued(SessionId sid, Session& s, Descriptor& d,
+                            const PageKey& key) {
+  if ((d.flags[sid] & kQueued) != 0) {
+    return true;
+  }
+  if (!SubscribesState(s) && s.pending >= config_.max_pending_per_session) {
+    // Event-only session at its descriptor limit: drop (§4.2).
+    ++stats_.events_dropped;
+    ++s.dropped;
+    d.flags[sid] &= static_cast<uint8_t>(~kPendingEventMask);
+    return false;
+  }
+  d.flags[sid] |= kQueued;
+  s.queue.push_back(key);
+  ++s.pending;
+  return true;
+}
+
+bool DuetCore::IsRelevant(Session& s, InodeNo ino) {
+  if (s.relevant.Test(ino)) {
+    return true;
+  }
+  ++stats_.relevance_checks;
+  if (fs_->ns().IsUnder(ino, s.registered_dir)) {
+    s.relevant.Set(ino);
+    return true;
+  }
+  // Irrelevant: mark done so no backward traversal happens again (§4.1).
+  s.done.Set(ino);
+  return false;
+}
+
+void DuetCore::OnPageEvent(const PageEvent& event) {
+  ++stats_.hook_invocations;
+  if (active_sessions_ == 0) {
+    // Still refresh an existing descriptor's state view if one survives.
+    auto it = descriptors_.find(PageKey{event.ino, event.idx});
+    if (it != descriptors_.end()) {
+      const CachedPage* page = fs_->cache().Peek(event.ino, event.idx);
+      it->second.cur_exists = page != nullptr;
+      it->second.cur_modified = page != nullptr && page->dirty;
+    }
+    return;
+  }
+  PageKey key{event.ino, event.idx};
+
+  // Refresh the merged descriptor's current-state view (the cache has
+  // already been updated when the hook fires).
+  auto desc_it = descriptors_.find(key);
+  if (desc_it != descriptors_.end()) {
+    const CachedPage* page = fs_->cache().Peek(event.ino, event.idx);
+    desc_it->second.cur_exists = page != nullptr;
+    desc_it->second.cur_modified = page != nullptr && page->dirty;
+  }
+
+  for (SessionId sid = 0; sid < config_.max_sessions; ++sid) {
+    Session& s = sessions_[sid];
+    if (!s.active) {
+      continue;
+    }
+    uint8_t interest = static_cast<uint8_t>(
+        (s.mask & EventBit(event.type)) | (s.mask & AffectedStateBit(event.type)));
+    if (interest == 0) {
+      continue;
+    }
+    if (s.is_block) {
+      Result<BlockNo> block = fs_->Bmap(event.ino, event.idx);
+      if (!block.ok() || s.done.Test(*block)) {
+        continue;
+      }
+    } else {
+      if (event.ino >= s.done.size()) {
+        EnsureInodeCapacity(event.ino);
+      }
+      if (s.done.Test(event.ino) || !IsRelevant(s, event.ino)) {
+        continue;
+      }
+    }
+    ApplyEvent(sid, s, key, event.type);
+  }
+  MaybeFreeDescriptor(key);
+}
+
+void DuetCore::ApplyEvent(SessionId sid, Session& s, const PageKey& key,
+                          PageEventType type) {
+  Descriptor& d = GetOrCreateDescriptor(key);
+  ++stats_.descriptor_updates;
+  uint8_t event_bit = static_cast<uint8_t>(s.mask & EventBit(type));
+  if (event_bit != 0) {
+    d.flags[sid] |= event_bit;
+  }
+  if (HasPending(s, sid, d)) {
+    EnsureQueued(sid, s, d, key);
+  }
+}
+
+void DuetCore::InitialScan(SessionId sid) {
+  Session& s = sessions_[sid];
+  fs_->cache().ForEachPage([&](InodeNo ino, PageIdx idx, const CachedPage& page) {
+    if (s.is_block) {
+      if (!fs_->Bmap(ino, idx).ok()) {
+        return;
+      }
+    } else {
+      if (ino >= s.done.size()) {
+        EnsureInodeCapacity(ino);
+      }
+      if (s.done.Test(ino) || !IsRelevant(s, ino)) {
+        return;
+      }
+    }
+    PageKey key{ino, idx};
+    Descriptor& d = GetOrCreateDescriptor(key);
+    ++stats_.descriptor_updates;
+    // The scan marks the page present (and possibly dirty), §4.1.
+    if ((s.mask & kDuetPageAdded) != 0) {
+      d.flags[sid] |= kDuetPageAdded;
+    }
+    if (page.dirty && (s.mask & kDuetPageDirtied) != 0) {
+      d.flags[sid] |= kDuetPageDirtied;
+    }
+    if (HasPending(s, sid, d)) {
+      EnsureQueued(sid, s, d, key);
+    } else {
+      MaybeFreeDescriptor(key);
+    }
+  });
+}
+
+Result<std::vector<DuetItem>> DuetCore::Fetch(SessionId sid, size_t max_items) {
+  if (sid >= config_.max_sessions || !sessions_[sid].active) {
+    return Status(StatusCode::kNotFound, "no such session");
+  }
+  Session& s = sessions_[sid];
+  ++stats_.fetch_calls;
+  std::vector<DuetItem> items;
+  while (items.size() < max_items && !s.queue.empty()) {
+    PageKey key = s.queue.front();
+    s.queue.pop_front();
+    auto it = descriptors_.find(key);
+    if (it == descriptors_.end()) {
+      continue;  // descriptor freed since it was queued
+    }
+    Descriptor& d = it->second;
+    uint8_t byte = d.flags[sid];
+    if ((byte & kQueued) == 0) {
+      continue;  // stale queue entry
+    }
+    d.flags[sid] = static_cast<uint8_t>(byte & ~kQueued);
+    assert(s.pending > 0);
+    --s.pending;
+
+    uint8_t out = byte & kPendingEventMask;
+    if ((s.mask & kDuetPageExists) != 0 &&
+        ((byte & kReportedExists) != 0) != d.cur_exists) {
+      out |= d.cur_exists ? kDuetPageExists : kDuetPageRemoved;
+    }
+    if ((s.mask & kDuetPageModified) != 0 &&
+        ((byte & kReportedModified) != 0) != d.cur_modified) {
+      out |= d.cur_modified ? kDuetPageModified : kDuetPageFlushed;
+    }
+
+    // Mark up-to-date: clear pending events, snapshot the reported state.
+    uint8_t cleared = static_cast<uint8_t>(d.flags[sid] & ~kPendingEventMask &
+                                           ~(kReportedExists | kReportedModified));
+    if (d.cur_exists) {
+      cleared |= kReportedExists;
+    }
+    if (d.cur_modified) {
+      cleared |= kReportedModified;
+    }
+    d.flags[sid] = cleared;
+
+    if (out == 0) {
+      // Notifications cancelled each other (e.g. added then removed).
+      MaybeFreeDescriptor(key);
+      continue;
+    }
+    DuetItem item;
+    item.flags = out;
+    if (s.is_block) {
+      Result<BlockNo> block = fs_->Bmap(key.ino, key.idx);
+      if (!block.ok()) {
+        MaybeFreeDescriptor(key);
+        continue;  // page no longer mapped (file deleted/truncated)
+      }
+      item.id = *block;
+      item.offset = 0;
+    } else {
+      item.id = key.ino;
+      item.offset = key.idx * kPageSize;
+    }
+    items.push_back(item);
+    ++stats_.items_fetched;
+    MaybeFreeDescriptor(key);
+  }
+  return items;
+}
+
+bool DuetCore::CheckDone(SessionId sid, uint64_t item_id) const {
+  if (sid >= config_.max_sessions || !sessions_[sid].active) {
+    return false;
+  }
+  const Session& s = sessions_[sid];
+  if (item_id >= s.done.size()) {
+    return false;
+  }
+  return s.done.Test(item_id);
+}
+
+Status DuetCore::SetDone(SessionId sid, uint64_t item_id) {
+  if (sid >= config_.max_sessions || !sessions_[sid].active) {
+    return Status(StatusCode::kNotFound, "no such session");
+  }
+  Session& s = sessions_[sid];
+  if (item_id >= s.done.size()) {
+    if (s.is_block) {
+      return Status(StatusCode::kInvalidArgument, "block out of range");
+    }
+    EnsureInodeCapacity(item_id);
+  }
+  s.done.Set(item_id);
+
+  // Mark existing descriptors up-to-date so completed items generate no
+  // further notifications (§4.1).
+  auto clear_page = [&](const PageKey& key) {
+    auto it = descriptors_.find(key);
+    if (it == descriptors_.end()) {
+      return;
+    }
+    Descriptor& d = it->second;
+    uint8_t byte = d.flags[sid];
+    uint8_t cleared = 0;
+    if (d.cur_exists) {
+      cleared |= kReportedExists;
+    }
+    if (d.cur_modified) {
+      cleared |= kReportedModified;
+    }
+    d.flags[sid] = cleared;
+    if ((byte & kQueued) != 0) {
+      assert(s.pending > 0);
+      --s.pending;
+    }
+    MaybeFreeDescriptor(key);
+  };
+
+  if (s.is_block) {
+    Result<FileSystem::BlockOwner> owner = fs_->Rmap(item_id);
+    if (owner.ok()) {
+      clear_page(PageKey{owner->ino, owner->idx});
+    }
+  } else {
+    auto idx_it = inode_index_.find(item_id);
+    if (idx_it != inode_index_.end()) {
+      std::vector<PageIdx> pages(idx_it->second.begin(), idx_it->second.end());
+      for (PageIdx idx : pages) {
+        clear_page(PageKey{item_id, idx});
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status DuetCore::UnsetDone(SessionId sid, uint64_t item_id) {
+  if (sid >= config_.max_sessions || !sessions_[sid].active) {
+    return Status(StatusCode::kNotFound, "no such session");
+  }
+  Session& s = sessions_[sid];
+  if (item_id >= s.done.size()) {
+    return Status(StatusCode::kInvalidArgument, "item out of range");
+  }
+  s.done.Clear(item_id);
+  return Status::Ok();
+}
+
+Result<std::string> DuetCore::GetPath(SessionId sid, InodeNo ino) const {
+  if (sid >= config_.max_sessions || !sessions_[sid].active) {
+    return Status(StatusCode::kNotFound, "no such session");
+  }
+  const Session& s = sessions_[sid];
+  if (s.is_block) {
+    return Status(StatusCode::kInvalidArgument, "block tasks have no paths");
+  }
+  if (!fs_->ns().Exists(ino) || !fs_->ns().IsUnder(ino, s.registered_dir)) {
+    return Status(StatusCode::kNotFound, "not under registered directory");
+  }
+  // The "truth" for our hints (§3.2): fail when the file has no cached
+  // pages left, so tasks can back out of stale opportunistic work.
+  if (fs_->cache().CachedPagesOfInode(ino) == 0) {
+    return Status(StatusCode::kNotFound, "no cached pages");
+  }
+  Result<std::string> full = fs_->ns().PathOf(ino);
+  if (!full.ok()) {
+    return full;
+  }
+  Result<std::string> base = fs_->ns().PathOf(s.registered_dir);
+  if (!base.ok()) {
+    return base;
+  }
+  if (*base == "/") {
+    return full;
+  }
+  std::string rel = full->substr(base->size());
+  return rel.empty() ? std::string("/") : rel;
+}
+
+void DuetCore::FileMovedIn(SessionId sid, Session& s, InodeNo ino) {
+  EnsureInodeCapacity(ino);
+  s.done.Clear(ino);
+  s.relevant.Set(ino);
+  // Initialize descriptors for all cached pages, as the registration scan
+  // does (§4.1).
+  fs_->cache().ForEachPageOfInode(ino, [&](PageIdx idx, const CachedPage& page) {
+    PageKey key{ino, idx};
+    Descriptor& d = GetOrCreateDescriptor(key);
+    ++stats_.descriptor_updates;
+    if ((s.mask & kDuetPageAdded) != 0) {
+      d.flags[sid] |= kDuetPageAdded;
+    }
+    if (page.dirty && (s.mask & kDuetPageDirtied) != 0) {
+      d.flags[sid] |= kDuetPageDirtied;
+    }
+    // Force a fresh state report.
+    d.flags[sid] &= static_cast<uint8_t>(~(kReportedExists | kReportedModified));
+    if (HasPending(s, sid, d)) {
+      EnsureQueued(sid, s, d, key);
+    }
+  });
+}
+
+void DuetCore::FileMovedOut(SessionId sid, Session& s, InodeNo ino) {
+  // Set the Removed bit and clear the Exists view for all existing pages,
+  // then mark the file done (§4.1).
+  fs_->cache().ForEachPageOfInode(ino, [&](PageIdx idx, const CachedPage&) {
+    PageKey key{ino, idx};
+    Descriptor& d = GetOrCreateDescriptor(key);
+    ++stats_.descriptor_updates;
+    if ((s.mask & (kDuetPageRemoved | kDuetPageExists)) != 0) {
+      d.flags[sid] |= kDuetPageRemoved;
+      // Pretend the page's existence was already re-reported so the state
+      // machinery does not also emit a (contradictory) Exists item.
+      if (d.cur_exists) {
+        d.flags[sid] |= kReportedExists;
+      }
+      EnsureQueued(sid, s, d, key);
+    }
+  });
+  EnsureInodeCapacity(ino);
+  s.done.Set(ino);
+  s.relevant.Clear(ino);
+}
+
+void DuetCore::OnRename(InodeNo ino, InodeNo old_parent, InodeNo new_parent,
+                        bool is_dir) {
+  for (SessionId sid = 0; sid < config_.max_sessions; ++sid) {
+    Session& s = sessions_[sid];
+    if (!s.active || s.is_block) {
+      continue;
+    }
+    bool old_in = fs_->ns().IsUnder(old_parent, s.registered_dir);
+    bool new_in = fs_->ns().IsUnder(new_parent, s.registered_dir);
+    if (!old_in && !new_in) {
+      continue;
+    }
+    if (is_dir) {
+      // Directory rename: reset relevant/done for every file except those
+      // fully processed (both bits set), §4.1. Files will have their
+      // relevance re-checked lazily.
+      std::vector<uint64_t> to_reset;
+      for (std::optional<uint64_t> i = s.relevant.FindNextSet(0); i.has_value();
+           i = s.relevant.FindNextSet(*i + 1)) {
+        if (!s.done.Test(*i)) {
+          to_reset.push_back(*i);
+        }
+      }
+      for (std::optional<uint64_t> i = s.done.FindNextSet(0); i.has_value();
+           i = s.done.FindNextSet(*i + 1)) {
+        if (!s.relevant.Test(*i)) {
+          to_reset.push_back(*i);
+        }
+      }
+      for (uint64_t i : to_reset) {
+        s.relevant.Clear(i);
+        s.done.Clear(i);
+      }
+    } else {
+      if (!old_in && new_in) {
+        FileMovedIn(sid, s, ino);
+      } else if (old_in && !new_in) {
+        FileMovedOut(sid, s, ino);
+      }
+      // Moves within the registered directory change only the path, which
+      // is resolved lazily via GetPath.
+    }
+  }
+}
+
+void DuetCore::OnUnlink(InodeNo /*ino*/) {
+  // Page-cache Removed events for the file's pages fire separately through
+  // the cache hooks; no extra bookkeeping is needed here.
+}
+
+void DuetCore::OnCreate(InodeNo ino) { EnsureInodeCapacity(ino); }
+
+uint64_t DuetCore::SessionBitmapBytes(SessionId sid) const {
+  if (sid >= config_.max_sessions || !sessions_[sid].active) {
+    return 0;
+  }
+  return sessions_[sid].done.MemoryBytes() + sessions_[sid].relevant.MemoryBytes();
+}
+
+uint64_t DuetCore::DoneCount(SessionId sid) const {
+  if (sid >= config_.max_sessions || !sessions_[sid].active) {
+    return 0;
+  }
+  return sessions_[sid].done.Count();
+}
+
+bool DuetCore::ProcessedByAllSessions(InodeNo ino, PageIdx idx) const {
+  bool any_tracking = false;
+  for (SessionId sid = 0; sid < config_.max_sessions; ++sid) {
+    const Session& s = sessions_[sid];
+    if (!s.active || s.done.Count() == 0) {
+      continue;  // sessions that do not track completion get no vote
+    }
+    any_tracking = true;
+    if (s.is_block) {
+      Result<BlockNo> block = fs_->Bmap(ino, idx);
+      if (!block.ok() || !s.done.Test(*block)) {
+        return false;
+      }
+    } else {
+      if (ino >= s.done.size() || !s.done.Test(ino)) {
+        return false;
+      }
+    }
+  }
+  return any_tracking;
+}
+
+uint64_t DuetCore::PendingCount(SessionId sid) const {
+  if (sid >= config_.max_sessions || !sessions_[sid].active) {
+    return 0;
+  }
+  return sessions_[sid].pending;
+}
+
+}  // namespace duet

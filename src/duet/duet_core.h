@@ -1,0 +1,199 @@
+// DuetCore: the framework of the paper (§4) — the userspace equivalent of
+// the Duet kernel module plus its page-cache hooks.
+//
+// DuetCore listens to the page cache's Added/Removed/Dirtied/Flushed hooks
+// and to VFS rename/unlink notifications. It maintains:
+//  * a session table (up to `max_sessions` concurrent sessions, §4.2);
+//  * one *merged* item descriptor per page with pending notifications, in a
+//    single global hash table, holding an N-byte per-session flag array;
+//  * per-session done / relevant bitmaps backed by dynamically allocated
+//    chunks in a red-black tree (RangeBitmap).
+//
+// Item identity: descriptors are keyed by (inode, page index). Block-task
+// items are translated to block numbers through the file system's FIBMAP
+// (Bmap) at event and fetch time, exactly the mechanism §4.2 describes for
+// informing block tasks of file-level accesses.
+//
+// Memory bound: a descriptor stays allocated while its page is cached and a
+// state-subscribed session exists, or while any session has unfetched
+// notifications — giving the paper's 2 × (max pages in cache) bound for
+// state sessions. Event-only sessions are subject to a per-session
+// descriptor limit; beyond it, new events are dropped (§4.2).
+#ifndef SRC_DUET_DUET_CORE_H_
+#define SRC_DUET_DUET_CORE_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cache/page_event.h"
+#include "src/duet/duet_types.h"
+#include "src/fs/file_system.h"
+#include "src/fs/vfs_observer.h"
+#include "src/util/range_bitmap.h"
+#include "src/util/status.h"
+
+namespace duet {
+
+struct DuetConfig {
+  uint32_t max_sessions = 16;
+  // Per-session cap on descriptors with pending notifications; beyond this,
+  // events are dropped for event-only sessions (state sessions are bounded
+  // by cache size and never drop).
+  uint64_t max_pending_per_session = 1u << 20;
+};
+
+class DuetCore : public PageEventListener, public VfsObserver {
+ public:
+  // Attaches to `fs`'s page cache and namespace. Detaches on destruction.
+  explicit DuetCore(FileSystem* fs, DuetConfig config = DuetConfig());
+  ~DuetCore() override;
+
+  DuetCore(const DuetCore&) = delete;
+  DuetCore& operator=(const DuetCore&) = delete;
+
+  // ---- The Duet API (paper Table 1) ----
+
+  // Registers a file task watching `path` (a directory). Items are inode
+  // numbers + offsets for files under the directory.
+  Result<SessionId> RegisterFileTask(std::string_view path, uint8_t mask);
+
+  // Registers a block task watching the whole device. Items are block
+  // numbers.
+  Result<SessionId> RegisterBlockTask(uint8_t mask);
+
+  Status Deregister(SessionId sid);
+
+  // Returns up to `max_items` pending notifications. Items whose
+  // notifications cancelled out (§3.2) are silently skipped.
+  Result<std::vector<DuetItem>> Fetch(SessionId sid, size_t max_items);
+
+  // Work tracking (done bitmap): item_id is a block number for block tasks
+  // and an inode number for file tasks.
+  bool CheckDone(SessionId sid, uint64_t item_id) const;
+  Status SetDone(SessionId sid, uint64_t item_id);
+  Status UnsetDone(SessionId sid, uint64_t item_id);
+
+  // Translates an inode to a path relative to the session's registered
+  // directory. Fails when the file has no pages left in the cache — the
+  // "truth" check that lets tasks back out of stale hints (§3.2) — or when
+  // the file moved out of the registered directory.
+  Result<std::string> GetPath(SessionId sid, InodeNo ino) const;
+
+  // ---- Hooks (wired automatically) ----
+  void OnPageEvent(const PageEvent& event) override;
+  void OnRename(InodeNo ino, InodeNo old_parent, InodeNo new_parent,
+                bool is_dir) override;
+  void OnUnlink(InodeNo ino) override;
+  void OnCreate(InodeNo ino) override;
+
+  // ---- Introspection / accounting (§6.4 experiments) ----
+  const DuetStats& stats() const { return stats_; }
+  uint64_t descriptor_count() const { return descriptors_.size(); }
+  // Paper's estimate: 32 bytes per merged descriptor (id, offset, N-byte
+  // flag array, hash linkage) with N = 16.
+  uint64_t DescriptorMemoryBytes() const { return descriptors_.size() * 32; }
+  // Heap footprint of one session's done+relevant bitmaps.
+  uint64_t SessionBitmapBytes(SessionId sid) const;
+  uint32_t active_sessions() const { return active_sessions_; }
+  uint64_t PendingCount(SessionId sid) const;
+  // Number of items currently marked done for the session (block tasks:
+  // blocks; file tasks: inodes, including irrelevance markings).
+  uint64_t DoneCount(SessionId sid) const;
+
+  // Informed cache replacement (the PACMan-style extension §2 anticipates):
+  // true when every active session that tracks completion has marked this
+  // page's item done — its cache residency no longer helps maintenance.
+  // Suitable as a PageCache::EvictionAdvisor:
+  //   cache.SetEvictionAdvisor([&duet](InodeNo i, PageIdx p) {
+  //     return duet.ProcessedByAllSessions(i, p);
+  //   });
+  bool ProcessedByAllSessions(InodeNo ino, PageIdx idx) const;
+
+ private:
+  static constexpr uint32_t kMaxSessionsHard = 64;
+
+  // Per-session per-descriptor flag byte layout.
+  static constexpr uint8_t kPendingEventMask = 0x0f;  // bits 0-3: Table 2 events
+  static constexpr uint8_t kReportedExists = 1u << 4;
+  static constexpr uint8_t kReportedModified = 1u << 5;
+  static constexpr uint8_t kQueued = 1u << 6;  // on the session's fetch queue
+
+  struct PageKey {
+    InodeNo ino;
+    PageIdx idx;
+    bool operator==(const PageKey&) const = default;
+  };
+  struct PageKeyHash {
+    size_t operator()(const PageKey& k) const {
+      return std::hash<uint64_t>()(k.ino * 0x9e3779b97f4a7c15ULL ^ k.idx);
+    }
+  };
+
+  // Merged item descriptor (§4.2): one per page for all sessions.
+  struct Descriptor {
+    bool cur_exists = false;
+    bool cur_modified = false;
+    std::array<uint8_t, kMaxSessionsHard> flags{};
+  };
+
+  struct Session {
+    bool active = false;
+    bool is_block = false;
+    uint8_t mask = 0;
+    InodeNo registered_dir = kInvalidInode;
+    RangeBitmap done;
+    RangeBitmap relevant;  // file tasks only
+    std::deque<PageKey> queue;  // descriptors with pending notifications
+    uint64_t pending = 0;
+    uint64_t dropped = 0;
+  };
+
+  bool SubscribesState(const Session& s) const { return (s.mask & kDuetStateMask) != 0; }
+
+  Result<SessionId> AllocateSession(uint8_t mask);
+  // Scans the page cache at registration time so existing pages generate
+  // notifications immediately (§4.1).
+  void InitialScan(SessionId sid);
+
+  // Relevance for file tasks: lazily resolved on the first event for an
+  // inode; irrelevant inodes are marked done so they are never re-checked.
+  bool IsRelevant(Session& s, InodeNo ino);
+
+  // Applies one page event to one session's descriptor byte. `forced_gone`
+  // models a file leaving the registered directory (treated as ¬exists).
+  void ApplyEvent(SessionId sid, Session& s, const PageKey& key, PageEventType type);
+  // Marks the descriptor pending for `sid` and enqueues it, honouring the
+  // event-only drop limit. Returns false if the event had to be dropped.
+  bool EnsureQueued(SessionId sid, Session& s, Descriptor& d, const PageKey& key);
+  // True if session `sid` has anything to report for `d`.
+  bool HasPending(const Session& s, SessionId sid, const Descriptor& d) const;
+  // Frees the descriptor if no session needs it any more.
+  void MaybeFreeDescriptor(const PageKey& key);
+  bool DescriptorNeeded(const Descriptor& d) const;
+
+  Descriptor& GetOrCreateDescriptor(const PageKey& key);
+  void EnsureInodeCapacity(InodeNo ino);
+
+  // Handles a file moving into / out of a session's registered directory.
+  void FileMovedIn(SessionId sid, Session& s, InodeNo ino);
+  void FileMovedOut(SessionId sid, Session& s, InodeNo ino);
+
+  FileSystem* fs_;
+  DuetConfig config_;
+  std::array<Session, kMaxSessionsHard> sessions_;
+  uint32_t active_sessions_ = 0;
+  std::unordered_map<PageKey, Descriptor, PageKeyHash> descriptors_;
+  // Secondary index: inode -> pages with live descriptors (done-marking and
+  // rename handling need per-file access).
+  std::unordered_map<InodeNo, std::unordered_set<PageIdx>> inode_index_;
+  DuetStats stats_;
+};
+
+}  // namespace duet
+
+#endif  // SRC_DUET_DUET_CORE_H_

@@ -1,0 +1,96 @@
+#include "src/duet/duet_library.h"
+
+#include <cassert>
+#include <utility>
+
+namespace duet {
+
+InodePriorityQueue::InodePriorityQueue(std::function<double(InodeNo, uint64_t)> score)
+    : score_(std::move(score)) {
+  assert(score_ != nullptr);
+}
+
+void InodePriorityQueue::Reinsert(InodeNo ino) {
+  PageSet& entry = inodes_[ino];
+  if (entry.queued) {
+    by_score_.erase({entry.score, ino});
+  }
+  entry.score = score_(ino, entry.count);
+  entry.queued = true;
+  by_score_.insert({entry.score, ino});
+}
+
+void InodePriorityQueue::Update(const std::vector<DuetItem>& items) {
+  for (const DuetItem& item : items) {
+    InodeNo ino = item.id;
+    PageSet& entry = inodes_[ino];
+    if (item.has(kDuetPageExists) || item.has(kDuetPageAdded)) {
+      ++entry.count;
+    } else if (item.has(kDuetPageRemoved)) {
+      if (entry.count > 0) {
+        --entry.count;
+      }
+    } else {
+      // Dirtied/Flushed-only items do not change residency.
+      continue;
+    }
+    Reinsert(ino);
+  }
+}
+
+std::optional<InodeNo> InodePriorityQueue::Dequeue() {
+  if (by_score_.empty()) {
+    return std::nullopt;
+  }
+  auto it = std::prev(by_score_.end());  // highest score
+  InodeNo ino = it->second;
+  by_score_.erase(it);
+  inodes_[ino].queued = false;
+  return ino;
+}
+
+void InodePriorityQueue::Erase(InodeNo ino) {
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) {
+    return;
+  }
+  if (it->second.queued) {
+    by_score_.erase({it->second.score, ino});
+  }
+  inodes_.erase(it);
+}
+
+uint64_t InodePriorityQueue::PagesInMemory(InodeNo ino) const {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? 0 : it->second.count;
+}
+
+uint64_t DrainEvents(DuetCore& duet, SessionId sid, InodePriorityQueue& queue,
+                     size_t batch) {
+  uint64_t total = 0;
+  while (true) {
+    Result<std::vector<DuetItem>> items = duet.Fetch(sid, batch);
+    if (!items.ok() || items->empty()) {
+      return total;
+    }
+    total += items->size();
+    queue.Update(*items);
+  }
+}
+
+uint64_t DrainEvents(DuetCore& duet, SessionId sid,
+                     const std::function<void(const DuetItem&)>& fn, size_t batch) {
+  uint64_t total = 0;
+  while (true) {
+    Result<std::vector<DuetItem>> items = duet.Fetch(sid, batch);
+    if (!items.ok() || items->empty()) {
+      return total;
+    }
+    total += items->size();
+    for (const DuetItem& item : *items) {
+      fn(item);
+    }
+  }
+}
+
+}  // namespace duet

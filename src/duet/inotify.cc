@@ -1,0 +1,113 @@
+#include "src/duet/inotify.h"
+
+#include <cassert>
+
+namespace duet {
+
+Inotify::Inotify(FileSystem* fs, size_t queue_limit)
+    : fs_(fs), queue_limit_(queue_limit) {
+  assert(fs_ != nullptr);
+  fs_->cache().AddListener(this);
+}
+
+Inotify::~Inotify() { fs_->cache().RemoveListener(this); }
+
+Result<int> Inotify::AddWatch(InodeNo dir, uint32_t mask) {
+  const Inode* inode = fs_->ns().Get(dir);
+  if (inode == nullptr || !inode->is_dir()) {
+    return Status(StatusCode::kInvalidArgument, "watch target is not a directory");
+  }
+  auto existing = by_dir_.find(dir);
+  if (existing != by_dir_.end()) {
+    watches_[existing->second].mask |= mask;
+    return existing->second;
+  }
+  int wd = next_wd_++;
+  watches_.emplace(wd, Watch{dir, mask});
+  by_dir_.emplace(dir, wd);
+  return wd;
+}
+
+Status Inotify::RemoveWatch(int wd) {
+  auto it = watches_.find(wd);
+  if (it == watches_.end()) {
+    return Status(StatusCode::kNotFound);
+  }
+  by_dir_.erase(it->second.dir);
+  watches_.erase(it);
+  return Status::Ok();
+}
+
+Result<uint64_t> Inotify::AddWatchRecursive(InodeNo root, uint32_t mask) {
+  Result<int> top = AddWatch(root, mask);
+  if (!top.ok()) {
+    return top.status();
+  }
+  uint64_t created = 1;
+  bool failed = false;
+  fs_->ns().WalkDepthFirst(root, [&](const Inode& inode) {
+    if (inode.is_dir()) {
+      if (AddWatch(inode.ino, mask).ok()) {
+        ++created;
+      } else {
+        failed = true;
+      }
+    }
+    return true;
+  });
+  if (failed) {
+    return Status(StatusCode::kLimit, "some watches could not be created");
+  }
+  return created;
+}
+
+std::vector<InotifyEvent> Inotify::ReadEvents(size_t max) {
+  std::vector<InotifyEvent> out;
+  while (!queue_.empty() && out.size() < max) {
+    out.push_back(queue_.front());
+    queue_.pop_front();
+  }
+  return out;
+}
+
+void Inotify::OnPageEvent(const PageEvent& event) {
+  // File-level masks only; writeback/eviction events are invisible to
+  // inotify consumers.
+  uint32_t mask = 0;
+  switch (event.type) {
+    case PageEventType::kAdded:
+      mask = kInAccess;
+      break;
+    case PageEventType::kDirtied:
+      mask = kInModify;
+      break;
+    case PageEventType::kRemoved:
+    case PageEventType::kFlushed:
+      return;
+  }
+  const Inode* inode = fs_->ns().Get(event.ino);
+  if (inode == nullptr) {
+    return;
+  }
+  auto watch_it = by_dir_.find(inode->parent);
+  if (watch_it == by_dir_.end()) {
+    return;
+  }
+  const Watch& watch = watches_[watch_it->second];
+  if ((watch.mask & mask) == 0) {
+    return;
+  }
+  // Coalesce with the most recent event, as the kernel does for identical
+  // consecutive events.
+  if (!queue_.empty() && queue_.back().ino == event.ino &&
+      queue_.back().mask == mask) {
+    return;
+  }
+  if (queue_.size() >= queue_limit_) {
+    ++dropped_;  // IN_Q_OVERFLOW
+    return;
+  }
+  queue_.push_back(InotifyEvent{watch_it->second, event.ino, mask});
+}
+
+}  // namespace duet

@@ -1,0 +1,80 @@
+// An Inotify-like file-level notification facility, for the paper's §3.3
+// comparison between Duet and Linux Inotify:
+//
+//  * events are *file-level* (a file was accessed / modified) — no page
+//    counts, no offsets;
+//  * there is no notification for writeback or eviction, so consumers learn
+//    nothing about data leaving memory;
+//  * directories are watched NON-recursively: a consumer must add one watch
+//    per directory, which is slow and race-prone for large trees (the cost
+//    §3.3 calls out).
+//
+// Implemented against the same hooks Duet uses, so the two can be compared
+// head-to-head on identical runs (bench/ablation_inotify_vs_duet).
+#ifndef SRC_DUET_INOTIFY_H_
+#define SRC_DUET_INOTIFY_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/page_event.h"
+#include "src/fs/file_system.h"
+#include "src/util/status.h"
+
+namespace duet {
+
+inline constexpr uint32_t kInAccess = 1u << 0;  // file data was read
+inline constexpr uint32_t kInModify = 1u << 1;  // file data was written
+
+struct InotifyEvent {
+  int wd = -1;        // watch descriptor (the watched parent directory)
+  InodeNo ino = 0;    // the file the event refers to
+  uint32_t mask = 0;
+};
+
+class Inotify : public PageEventListener {
+ public:
+  explicit Inotify(FileSystem* fs, size_t queue_limit = 16384);
+  ~Inotify() override;
+
+  Inotify(const Inotify&) = delete;
+  Inotify& operator=(const Inotify&) = delete;
+
+  // Watches a single directory (non-recursive, like the real thing).
+  Result<int> AddWatch(InodeNo dir, uint32_t mask);
+  Status RemoveWatch(int wd);
+
+  // Convenience for consumers that need recursive coverage: walks the tree
+  // and adds one watch per directory, returning how many were created (the
+  // setup cost the paper contrasts with Duet's single registration).
+  Result<uint64_t> AddWatchRecursive(InodeNo root, uint32_t mask);
+
+  // Drains up to `max` queued events.
+  std::vector<InotifyEvent> ReadEvents(size_t max);
+
+  uint64_t watches() const { return watches_.size(); }
+  uint64_t events_dropped() const { return dropped_; }
+
+  // PageEventListener: translates page events into file-level events for
+  // files whose parent directory is watched.
+  void OnPageEvent(const PageEvent& event) override;
+
+ private:
+  FileSystem* fs_;
+  size_t queue_limit_;
+  int next_wd_ = 1;
+  struct Watch {
+    InodeNo dir;
+    uint32_t mask;
+  };
+  std::unordered_map<int, Watch> watches_;
+  std::unordered_map<InodeNo, int> by_dir_;
+  std::deque<InotifyEvent> queue_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace duet
+
+#endif  // SRC_DUET_INOTIFY_H_

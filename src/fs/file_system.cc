@@ -1,0 +1,391 @@
+#include "src/fs/file_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace duet {
+
+FileSystem::FileSystem(EventLoop* loop, BlockDevice* device, uint64_t cache_pages,
+                       WritebackParams wb_params)
+    : loop_(loop),
+      device_(device),
+      cache_(cache_pages, [loop] { return loop->now(); }),
+      writeback_(loop, &cache_, this, wb_params) {
+  assert(loop_ != nullptr && device_ != nullptr);
+  disk_data_.assign(device_->capacity_blocks(), 0);
+  rmap_.assign(device_->capacity_blocks(), BlockOwner{});
+  writeback_.Start();
+}
+
+Status FileSystem::OnDiskBlockRead(BlockNo /*block*/, uint64_t /*token*/) {
+  return Status::Ok();
+}
+
+void FileSystem::OnBlockFlushed(BlockNo block, uint64_t token) {
+  disk_data_[block] = token;
+}
+
+void FileSystem::SetMapping(InodeNo ino, PageIdx idx, BlockNo block) {
+  FileMap& map = fmap_[ino];
+  if (map.blocks.size() <= idx) {
+    map.blocks.resize(idx + 1, kInvalidBlock);
+  }
+  map.blocks[idx] = block;
+  if (block != kInvalidBlock) {
+    rmap_[block] = BlockOwner{ino, idx};
+  }
+}
+
+void FileSystem::ClearOwner(BlockNo block) {
+  if (block != kInvalidBlock) {
+    rmap_[block] = BlockOwner{};
+  }
+}
+
+Result<BlockNo> FileSystem::Bmap(InodeNo ino, PageIdx idx) const {
+  auto it = fmap_.find(ino);
+  if (it == fmap_.end() || idx >= it->second.blocks.size() ||
+      it->second.blocks[idx] == kInvalidBlock) {
+    return Status(StatusCode::kNotFound, "unmapped page");
+  }
+  return it->second.blocks[idx];
+}
+
+Result<FileSystem::BlockOwner> FileSystem::Rmap(BlockNo block) const {
+  if (block >= rmap_.size() || rmap_[block].ino == kInvalidInode) {
+    return Status(StatusCode::kNotFound, "unowned block");
+  }
+  return rmap_[block];
+}
+
+Result<uint64_t> FileSystem::PageContent(InodeNo ino, PageIdx idx) const {
+  if (const CachedPage* page = cache_.Peek(ino, idx)) {
+    return page->data;
+  }
+  Result<BlockNo> block = Bmap(ino, idx);
+  if (!block.ok()) {
+    return block.status();
+  }
+  return disk_data_[*block];
+}
+
+Status FileSystem::DeleteFile(InodeNo ino) {
+  const Inode* inode = ns_.Get(ino);
+  if (inode == nullptr) {
+    return Status(StatusCode::kNotFound);
+  }
+  if (inode->is_dir()) {
+    return Status(StatusCode::kInvalidArgument, "is a directory");
+  }
+  cache_.RemoveInode(ino);
+  FreeFileBlocks(ino);
+  fmap_.erase(ino);
+  return ns_.Unlink(ino);
+}
+
+void FileSystem::FinishViaLoop(FsIoCallback cb, FsIoResult result) {
+  if (!cb) {
+    return;
+  }
+  loop_->ScheduleAfter(0, [cb = std::move(cb), result = std::move(result)] { cb(result); });
+}
+
+// Shared context for a multi-request read.
+struct FileSystem::ReadJob {
+  FsIoResult result;
+  uint64_t outstanding = 0;
+  bool submitted_all = false;
+  FsIoCallback cb;
+};
+
+void FileSystem::Read(InodeNo ino, ByteOff off, uint64_t len, IoClass io_class,
+                      FsIoCallback cb) {
+  const Inode* inode = ns_.Get(ino);
+  FsIoResult result;
+  if (inode == nullptr || inode->is_dir()) {
+    result.status = Status(StatusCode::kNotFound, "bad inode for read");
+    FinishViaLoop(std::move(cb), std::move(result));
+    return;
+  }
+  if (off >= inode->size || len == 0) {
+    FinishViaLoop(std::move(cb), std::move(result));
+    return;
+  }
+  len = std::min(len, inode->size - off);
+  PageIdx first = off / kPageSize;
+  PageIdx last = (off + len + kPageSize - 1) / kPageSize;  // exclusive
+
+  // Classify pages: cache hits are free, misses become block reads.
+  struct Miss {
+    BlockNo block;
+    InodeNo ino;
+    PageIdx idx;
+  };
+  std::vector<Miss> misses;
+  auto job = std::make_shared<ReadJob>();
+  job->cb = std::move(cb);
+  job->result.pages_requested = last - first;
+  for (PageIdx p = first; p < last; ++p) {
+    if (cache_.Lookup(ino, p).has_value()) {
+      ++job->result.pages_from_cache;
+      continue;
+    }
+    Result<BlockNo> block = Bmap(ino, p);
+    if (!block.ok()) {
+      job->result.status = Status(StatusCode::kCorruption, "hole in file");
+      FinishViaLoop(std::move(job->cb), std::move(job->result));
+      return;
+    }
+    misses.push_back(Miss{*block, ino, p});
+  }
+  if (misses.empty()) {
+    FinishViaLoop(std::move(job->cb), std::move(job->result));
+    return;
+  }
+
+  // Coalesce block-contiguous misses into device requests.
+  std::sort(misses.begin(), misses.end(),
+            [](const Miss& a, const Miss& b) { return a.block < b.block; });
+  size_t i = 0;
+  while (i < misses.size()) {
+    size_t j = i + 1;
+    while (j < misses.size() && misses[j].block == misses[j - 1].block + 1) {
+      ++j;
+    }
+    std::vector<Miss> run(misses.begin() + static_cast<long>(i),
+                          misses.begin() + static_cast<long>(j));
+    IoRequest req;
+    req.block = run.front().block;
+    req.count = static_cast<uint32_t>(run.size());
+    req.dir = IoDir::kRead;
+    req.io_class = io_class;
+    ++job->result.device_ops;
+    ++job->outstanding;
+    req.done = [this, job, run = std::move(run)] {
+      for (const Miss& m : run) {
+        uint64_t token = disk_data_[m.block];
+        Status verify = OnDiskBlockRead(m.block, token);
+        if (!verify.ok() && job->result.status.ok()) {
+          job->result.status = verify;
+        }
+        ++job->result.pages_from_disk;
+        cache_.Insert(m.ino, m.idx, token, /*dirty=*/false);
+      }
+      if (--job->outstanding == 0 && job->submitted_all) {
+        // Already async (device completion), deliver directly.
+        if (job->cb) {
+          job->cb(job->result);
+        }
+      }
+    };
+    device_->Submit(std::move(req));
+    i = j;
+  }
+  job->submitted_all = true;
+  if (job->outstanding == 0 && job->cb) {
+    // All completions ran synchronously (not possible with a real device
+    // model, but guard anyway).
+    FinishViaLoop(std::move(job->cb), std::move(job->result));
+  }
+}
+
+void FileSystem::Write(InodeNo ino, ByteOff off, uint64_t len, IoClass io_class,
+                       FsIoCallback cb) {
+  CopyIn(ino, off, len, {}, io_class, std::move(cb));
+}
+
+void FileSystem::CopyIn(InodeNo ino, ByteOff off, uint64_t len,
+                        std::vector<uint64_t> tokens, IoClass /*io_class*/,
+                        FsIoCallback cb) {
+  Inode* inode = ns_.GetMutable(ino);
+  FsIoResult result;
+  if (inode == nullptr || inode->is_dir()) {
+    result.status = Status(StatusCode::kNotFound, "bad inode for write");
+    FinishViaLoop(std::move(cb), std::move(result));
+    return;
+  }
+  if (len == 0) {
+    FinishViaLoop(std::move(cb), std::move(result));
+    return;
+  }
+  PageIdx first = off / kPageSize;
+  PageIdx last = (off + len + kPageSize - 1) / kPageSize;  // exclusive
+  assert(tokens.empty() || tokens.size() >= last - first);
+  result.pages_requested = last - first;
+  for (PageIdx p = first; p < last; ++p) {
+    BlockNo old_block = kInvalidBlock;
+    if (auto mapped = Bmap(ino, p); mapped.ok()) {
+      old_block = *mapped;
+    }
+    Result<BlockNo> fresh = AllocateForWrite(ino, p, old_block);
+    if (!fresh.ok()) {
+      result.status = fresh.status();
+      break;
+    }
+    uint64_t token = tokens.empty() ? NextToken() : tokens[p - first];
+    if (!cache_.MarkDirty(ino, p, token)) {
+      cache_.Insert(ino, p, token, /*dirty=*/true);
+    }
+  }
+  if (result.status.ok()) {
+    inode->size = std::max(inode->size, off + len);
+  }
+  writeback_.MaybeKick();
+  FinishViaLoop(std::move(cb), std::move(result));
+}
+
+void FileSystem::Append(InodeNo ino, uint64_t len, IoClass io_class, FsIoCallback cb) {
+  const Inode* inode = ns_.Get(ino);
+  if (inode == nullptr) {
+    FsIoResult result;
+    result.status = Status(StatusCode::kNotFound);
+    FinishViaLoop(std::move(cb), std::move(result));
+    return;
+  }
+  Write(ino, inode->size, len, io_class, std::move(cb));
+}
+
+void FileSystem::ReadBlocks(std::vector<BlockNo> blocks, IoClass io_class,
+                            std::function<void(const RawReadResult&)> cb) {
+  auto result = std::make_shared<RawReadResult>();
+  if (blocks.empty()) {
+    loop_->ScheduleAfter(0, [cb = std::move(cb), result] { cb(*result); });
+    return;
+  }
+  std::sort(blocks.begin(), blocks.end());
+  blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+  std::vector<std::pair<BlockNo, uint32_t>> runs;
+  size_t i = 0;
+  while (i < blocks.size()) {
+    size_t j = i + 1;
+    while (j < blocks.size() && blocks[j] == blocks[j - 1] + 1) {
+      ++j;
+    }
+    runs.emplace_back(blocks[i], static_cast<uint32_t>(j - i));
+    i = j;
+  }
+  auto outstanding = std::make_shared<uint64_t>(runs.size());
+  auto cb_shared =
+      std::make_shared<std::function<void(const RawReadResult&)>>(std::move(cb));
+  for (const auto& [start, count] : runs) {
+    IoRequest req;
+    req.block = start;
+    req.count = count;
+    req.dir = IoDir::kRead;
+    req.io_class = io_class;
+    ++result->device_ops;
+    req.done = [this, start = start, count = count, result, outstanding, cb_shared] {
+      for (BlockNo b = start; b < start + count; ++b) {
+        ++result->blocks_read;
+        Status verify = OnDiskBlockRead(b, disk_data_[b]);
+        if (!verify.ok()) {
+          ++result->checksum_errors;
+          result->status = verify;
+        }
+      }
+      if (--*outstanding == 0) {
+        (*cb_shared)(*result);
+      }
+    };
+    device_->Submit(std::move(req));
+  }
+}
+
+void FileSystem::WritebackPages(std::vector<PageCache::DirtyPageRef> pages,
+                                std::function<void()> done) {
+  // Re-resolve current mappings and tokens: a page may have been re-written
+  // (new COW/log location) since it was collected.
+  struct Flush {
+    BlockNo block;
+    InodeNo ino;
+    PageIdx idx;
+    uint64_t token;
+  };
+  std::vector<Flush> flushes;
+  flushes.reserve(pages.size());
+  for (const auto& ref : pages) {
+    const CachedPage* page = cache_.Peek(ref.ino, ref.idx);
+    if (page == nullptr || !page->dirty) {
+      continue;  // already gone or cleaned
+    }
+    Result<BlockNo> block = Bmap(ref.ino, ref.idx);
+    if (!block.ok()) {
+      continue;  // file deleted under us
+    }
+    flushes.push_back(Flush{*block, ref.ino, ref.idx, page->data});
+  }
+  if (flushes.empty()) {
+    loop_->ScheduleAfter(0, std::move(done));
+    return;
+  }
+  std::sort(flushes.begin(), flushes.end(),
+            [](const Flush& a, const Flush& b) { return a.block < b.block; });
+
+  auto outstanding = std::make_shared<uint64_t>(0);
+  auto all_submitted = std::make_shared<bool>(false);
+  auto done_shared = std::make_shared<std::function<void()>>(std::move(done));
+  size_t i = 0;
+  while (i < flushes.size()) {
+    size_t j = i + 1;
+    while (j < flushes.size() && flushes[j].block == flushes[j - 1].block + 1) {
+      ++j;
+    }
+    std::vector<Flush> run(flushes.begin() + static_cast<long>(i),
+                           flushes.begin() + static_cast<long>(j));
+    IoRequest req;
+    req.block = run.front().block;
+    req.count = static_cast<uint32_t>(run.size());
+    req.dir = IoDir::kWrite;
+    // Flusher I/O is driven by foreground writes; it competes best-effort.
+    req.io_class = IoClass::kBestEffort;
+    ++*outstanding;
+    req.done = [this, run = std::move(run), outstanding, all_submitted, done_shared] {
+      for (const Flush& f : run) {
+        OnBlockFlushed(f.block, f.token);
+        const CachedPage* page = cache_.Peek(f.ino, f.idx);
+        // Only clean the page if it was not re-dirtied with new content
+        // while the write was in flight.
+        if (page != nullptr && page->dirty && page->data == f.token) {
+          cache_.MarkClean(f.ino, f.idx);
+        }
+      }
+      if (--*outstanding == 0 && *all_submitted && *done_shared) {
+        (*done_shared)();
+      }
+    };
+    device_->Submit(std::move(req));
+    i = j;
+  }
+  *all_submitted = true;
+  if (*outstanding == 0 && *done_shared) {
+    loop_->ScheduleAfter(0, std::move(*done_shared));
+  }
+}
+
+Result<InodeNo> FileSystem::PopulateFileAged(std::string_view path, uint64_t bytes,
+                                             double /*break_prob*/, Rng& /*rng*/) {
+  return PopulateFile(path, bytes);
+}
+
+Result<InodeNo> FileSystem::PopulateFile(std::string_view path, uint64_t bytes) {
+  Result<InodeNo> created = ns_.Create(path, FileType::kRegular);
+  if (!created.ok()) {
+    return created;
+  }
+  InodeNo ino = *created;
+  uint64_t npages = PagesForBytes(bytes);
+  for (PageIdx p = 0; p < npages; ++p) {
+    Result<BlockNo> block = AllocateForWrite(ino, p, kInvalidBlock);
+    if (!block.ok()) {
+      return block.status();
+    }
+    uint64_t token = NextToken();
+    OnBlockFlushed(*block, token);  // content goes straight to "disk"
+  }
+  ns_.GetMutable(ino)->size = bytes;
+  return ino;
+}
+
+}  // namespace duet

@@ -1,0 +1,188 @@
+// Shared file-system machinery for the two concrete file systems (cowfs,
+// logfs): namespace, page cache, async read/write paths over the simulated
+// block device, and writeback. Concrete file systems supply block placement
+// (COW vs log-structured) through a small set of virtual hooks.
+//
+// All data callbacks are delivered through the event loop (never inline), so
+// task state machines cannot recurse unboundedly on all-cached reads.
+#ifndef SRC_FS_FILE_SYSTEM_H_
+#define SRC_FS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/block/block_device.h"
+#include "src/cache/page_cache.h"
+#include "src/cache/writeback.h"
+#include "src/fs/namespace.h"
+#include "src/sim/event_loop.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/types.h"
+
+namespace duet {
+
+// Outcome of an asynchronous file-system operation. The per-source page
+// counts let maintenance tasks account I/O performed vs I/O saved.
+struct FsIoResult {
+  Status status;
+  uint64_t pages_requested = 0;
+  uint64_t pages_from_cache = 0;  // served without device I/O
+  uint64_t pages_from_disk = 0;
+  uint64_t device_ops = 0;        // requests submitted to the device
+};
+
+using FsIoCallback = std::function<void(const FsIoResult&)>;
+
+// Outcome of a raw block-level read (no page-cache involvement).
+struct RawReadResult {
+  Status status;
+  uint64_t blocks_read = 0;
+  uint64_t checksum_errors = 0;
+  uint64_t device_ops = 0;
+};
+
+class FileSystem : public WritebackTarget {
+ public:
+  FileSystem(EventLoop* loop, BlockDevice* device, uint64_t cache_pages,
+             WritebackParams wb_params = WritebackParams());
+  ~FileSystem() override = default;
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  // ---- Components ----
+  Namespace& ns() { return ns_; }
+  const Namespace& ns() const { return ns_; }
+  PageCache& cache() { return cache_; }
+  const PageCache& cache() const { return cache_; }
+  BlockDevice& device() { return *device_; }
+  EventLoop& loop() { return *loop_; }
+  Writeback& writeback() { return writeback_; }
+
+  // ---- Namespace convenience ----
+  Result<InodeNo> CreateFile(std::string_view path) {
+    return ns_.Create(path, FileType::kRegular);
+  }
+  Result<InodeNo> Mkdir(std::string_view path) {
+    return ns_.Create(path, FileType::kDirectory);
+  }
+  // Unlinks a regular file: drops its cache pages, frees its blocks.
+  Status DeleteFile(InodeNo ino);
+
+  // ---- Data path (asynchronous; callbacks via the event loop) ----
+
+  // Reads [off, off+len) of `ino`. Cached pages are free; misses are mapped
+  // to blocks, coalesced into contiguous runs, and submitted at `io_class`.
+  void Read(InodeNo ino, ByteOff off, uint64_t len, IoClass io_class, FsIoCallback cb);
+
+  // Writes [off, off+len): allocates (COW / log-append) a new block per
+  // page, installs dirty pages in the cache, extends the file if needed.
+  // Completes without device I/O; writeback flushes later.
+  void Write(InodeNo ino, ByteOff off, uint64_t len, IoClass io_class, FsIoCallback cb);
+
+  // Appends `len` bytes at EOF.
+  void Append(InodeNo ino, uint64_t len, IoClass io_class, FsIoCallback cb);
+
+  // Like Write, but installs the given page contents instead of generating
+  // fresh tokens (one token per page of the range). Used by copy tasks
+  // (rsync's receiver) so destination content equals the source.
+  void CopyIn(InodeNo ino, ByteOff off, uint64_t len, std::vector<uint64_t> tokens,
+              IoClass io_class, FsIoCallback cb);
+
+  // Reads an explicit list of device blocks, bypassing the page cache.
+  // Consecutive block numbers are coalesced into single requests. Content
+  // verification (checksums) happens via OnDiskBlockRead. Used by tasks that
+  // must read data with no live page, e.g. preserved snapshot blocks.
+  void ReadBlocks(std::vector<BlockNo> blocks, IoClass io_class,
+                  std::function<void(const RawReadResult&)> cb);
+
+  // ---- Mapping (the FIBMAP ioctl the paper relies on, §4.2) ----
+  // Returns the device block currently backing page `idx` of `ino`.
+  Result<BlockNo> Bmap(InodeNo ino, PageIdx idx) const;
+
+  // Reverse mapping (back references): the file page currently stored in
+  // `block`, if any. Used to surface block-level reads as page events and by
+  // the logfs cleaner.
+  struct BlockOwner {
+    InodeNo ino = kInvalidInode;
+    PageIdx idx = 0;
+  };
+  Result<BlockOwner> Rmap(BlockNo block) const;
+
+  // ---- Setup-time population (no I/O, no virtual time) ----
+  // Creates the file's data instantly: allocates blocks, writes tokens and
+  // metadata directly to the simulated disk. Returns the inode.
+  Result<InodeNo> PopulateFile(std::string_view path, uint64_t bytes);
+
+  // Population with deliberate fragmentation, where the file system supports
+  // it (cowfs); the default ignores `break_prob` and places contiguously.
+  virtual Result<InodeNo> PopulateFileAged(std::string_view path, uint64_t bytes,
+                                           double break_prob, Rng& rng);
+
+  // ---- Introspection ----
+  uint64_t allocated_blocks() const { return allocated_blocks_; }
+  uint64_t capacity_blocks() const { return disk_data_.size(); }
+  // Token currently stored on disk for `block` (tests, verification).
+  uint64_t DiskToken(BlockNo block) const { return disk_data_[block]; }
+  // Current in-memory-or-disk content of a file page (cache wins).
+  Result<uint64_t> PageContent(InodeNo ino, PageIdx idx) const;
+
+  // WritebackTarget:
+  void WritebackPages(std::vector<PageCache::DirtyPageRef> pages,
+                      std::function<void()> done) override;
+
+ protected:
+  // ---- Placement hooks implemented by cowfs / logfs ----
+
+  // Allocates the block that will back (ino, idx), given the previous block
+  // (kInvalidBlock for a fresh page). Must update internal maps so Bmap
+  // reflects the new location; must release/invalidate `old_block`.
+  virtual Result<BlockNo> AllocateForWrite(InodeNo ino, PageIdx idx,
+                                           BlockNo old_block) = 0;
+
+  // Frees every block of the file (unlink path).
+  virtual void FreeFileBlocks(InodeNo ino) = 0;
+
+  // Called when a block's content has been read from the device; cowfs
+  // verifies the stored checksum here.
+  virtual Status OnDiskBlockRead(BlockNo block, uint64_t token);
+
+  // Called when writeback has persisted `token` into `block`; cowfs updates
+  // the block checksum, logfs updates segment metadata.
+  virtual void OnBlockFlushed(BlockNo block, uint64_t token);
+
+  // Forward/reverse map storage shared by both file systems.
+  struct FileMap {
+    std::vector<BlockNo> blocks;  // page index -> block
+  };
+  std::unordered_map<InodeNo, FileMap> fmap_;
+  std::vector<BlockOwner> rmap_;     // block -> owner page
+  std::vector<uint64_t> disk_data_;  // block -> stored token
+  uint64_t allocated_blocks_ = 0;
+
+  // Fresh unique content token.
+  uint64_t NextToken() { return token_counter_ += 0x9e3779b97f4a7c15ULL; }
+
+  // Installs a page->block mapping (and the reverse map).
+  void SetMapping(InodeNo ino, PageIdx idx, BlockNo block);
+  void ClearOwner(BlockNo block);
+
+  EventLoop* loop_;
+  BlockDevice* device_;
+  PageCache cache_;
+  Namespace ns_;
+  Writeback writeback_;
+
+ private:
+  struct ReadJob;
+  void FinishViaLoop(FsIoCallback cb, FsIoResult result);
+
+  uint64_t token_counter_ = 1;
+};
+
+}  // namespace duet
+
+#endif  // SRC_FS_FILE_SYSTEM_H_

@@ -1,0 +1,32 @@
+// VFS-level notifications. Duet registers an observer to learn about files
+// moving into or out of a registered directory and about deletions (paper
+// §4.1, "Duet also needs to handle files and directories being moved").
+#ifndef SRC_FS_VFS_OBSERVER_H_
+#define SRC_FS_VFS_OBSERVER_H_
+
+#include "src/util/types.h"
+
+namespace duet {
+
+class VfsObserver {
+ public:
+  virtual ~VfsObserver() = default;
+
+  // `ino` (file or directory) was renamed/moved from `old_parent` to
+  // `new_parent` (equal parents for a simple rename). Fired after the
+  // namespace has been updated.
+  virtual void OnRename(InodeNo ino, InodeNo old_parent, InodeNo new_parent,
+                        bool is_dir) = 0;
+
+  // `ino` was unlinked and destroyed. Page-cache Removed events for its
+  // pages fire separately via the cache hooks.
+  virtual void OnUnlink(InodeNo ino) = 0;
+
+  // A new inode was created (Duet uses the max inode number to size its
+  // file-task bitmaps).
+  virtual void OnCreate(InodeNo ino) = 0;
+};
+
+}  // namespace duet
+
+#endif  // SRC_FS_VFS_OBSERVER_H_

@@ -1,0 +1,121 @@
+#include "src/harness/calibrate.h"
+
+#include <algorithm>
+
+#include "src/util/format.h"
+
+namespace duet {
+
+double MeasureUtilization(const StackConfig& stack, const WorkloadConfig& workload,
+                          SimDuration profile_window) {
+  CowRig rig(stack, workload);
+  // Short warmup so the cache reaches a steady mix before measuring.
+  SimDuration warmup = profile_window / 5;
+  rig.workload().Start();
+  rig.loop().RunUntil(warmup);
+  SimTime measure_start = rig.loop().now();
+  SimDuration busy_at_start =
+      rig.device().stats().busy[static_cast<int>(IoClass::kBestEffort)];
+  rig.loop().RunUntil(warmup + profile_window);
+  rig.workload().Stop();
+  return rig.UtilizationSince(measure_start, busy_at_start);
+}
+
+CalibratedRate CalibrateRate(const StackConfig& stack, const WorkloadConfig& base,
+                             double target_util, SimDuration profile_window) {
+  CalibratedRate out;
+  if (target_util <= 0) {
+    return out;
+  }
+  // Natural maximum with the unthrottled closed loop.
+  WorkloadConfig probe = base;
+  probe.ops_per_sec = 0;
+  double max_util = MeasureUtilization(stack, probe, profile_window);
+  if (target_util >= max_util - 0.01) {
+    out.unthrottled = true;
+    out.achieved_util = max_util;
+    return out;
+  }
+  // Bisect the rate. An upper bound: unthrottled ops/sec estimate from the
+  // profile run would do, but a generous fixed ceiling converges just as
+  // fast in ~12 iterations.
+  double lo = 0.1;
+  double hi = 4000.0;
+  double best_rate = hi;
+  double best_err = 1.0;
+  for (int iter = 0; iter < 11; ++iter) {
+    double mid = (lo + hi) / 2;
+    probe.ops_per_sec = mid;
+    double util = MeasureUtilization(stack, probe, profile_window);
+    double err = util - target_util;
+    if (std::abs(err) < std::abs(best_err)) {
+      best_err = err;
+      best_rate = mid;
+    }
+    if (std::abs(err) < 0.015) {
+      break;
+    }
+    if (err < 0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  out.ops_per_sec = best_rate;
+  out.achieved_util = target_util + best_err;
+  return out;
+}
+
+RateTable::RateTable(std::string cache_path) : cache_path_(std::move(cache_path)) {
+  FILE* f = fopen(cache_path_.c_str(), "r");
+  if (f == nullptr) {
+    return;
+  }
+  char key[512];
+  double ops = 0;
+  int unthrottled = 0;
+  double achieved = 0;
+  while (fscanf(f, "%511s %lf %d %lf", key, &ops, &unthrottled, &achieved) == 4) {
+    CalibratedRate rate;
+    rate.ops_per_sec = ops;
+    rate.unthrottled = unthrottled != 0;
+    rate.achieved_util = achieved;
+    cache_.emplace(key, rate);
+  }
+  fclose(f);
+}
+
+RateTable::~RateTable() {
+  if (cache_path_.empty() || !dirty_) {
+    return;
+  }
+  FILE* f = fopen(cache_path_.c_str(), "w");
+  if (f == nullptr) {
+    return;
+  }
+  for (const auto& [key, rate] : cache_) {
+    fprintf(f, "%s %.6f %d %.6f\n", key.c_str(), rate.ops_per_sec,
+            rate.unthrottled ? 1 : 0, rate.achieved_util);
+  }
+  fclose(f);
+}
+
+const CalibratedRate& RateTable::Get(const StackConfig& stack,
+                                     const WorkloadConfig& base, double target_util) {
+  std::string key = StrFormat(
+      "%d|%d|%llu|%llu|%s|%.3f|%d|%.3f|%.2f|%llu", static_cast<int>(stack.device),
+      static_cast<int>(stack.scheduler),
+      static_cast<unsigned long long>(stack.capacity_blocks),
+      static_cast<unsigned long long>(stack.cache_pages),
+      PersonalityName(base.personality), base.coverage, base.skewed ? 1 : 0,
+      base.fragmented_fraction, target_util,
+      static_cast<unsigned long long>(base.seed));
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, CalibrateRate(stack, base, target_util)).first;
+    dirty_ = true;
+  }
+  return it->second;
+}
+
+}  // namespace duet

@@ -1,0 +1,56 @@
+// Workload-rate calibration, mirroring the paper's methodology (§6.1.2):
+// each Filebench personality is profiled alone (no maintenance) at different
+// throttle settings to find the ops/sec rate that produces a target device
+// utilization.
+#ifndef SRC_HARNESS_CALIBRATE_H_
+#define SRC_HARNESS_CALIBRATE_H_
+
+#include <map>
+#include <string>
+
+#include "src/harness/rig.h"
+#include "src/harness/stack_config.h"
+
+namespace duet {
+
+// Runs the workload alone for a profiling window and returns the measured
+// best-effort device utilization (the iostat %util analogue).
+double MeasureUtilization(const StackConfig& stack, const WorkloadConfig& workload,
+                          SimDuration profile_window = Seconds(12));
+
+// Finds the ops/sec rate at which the workload alone drives the device at
+// `target_util` (0 < target_util < 1), via bisection on the rate. Returns 0
+// for target 0 (workload off). A target at or above the workload's maximum
+// achievable utilization returns 0 rate with `unthrottled` set.
+struct CalibratedRate {
+  double ops_per_sec = 0;   // 0 with unthrottled=false means "no workload"
+  bool unthrottled = false; // target at/above the natural maximum
+  double achieved_util = 0;
+};
+CalibratedRate CalibrateRate(const StackConfig& stack, const WorkloadConfig& base,
+                             double target_util,
+                             SimDuration profile_window = Seconds(12));
+
+// Memoizes calibration results across runs of a bench binary: calibration is
+// deterministic given (stack, workload, target), so each combination is
+// profiled once.
+class RateTable {
+ public:
+  RateTable() = default;
+  // With a path, previously saved calibrations are loaded, and new ones are
+  // appended on destruction — bench binaries share one cache file.
+  explicit RateTable(std::string cache_path);
+  ~RateTable();
+
+  const CalibratedRate& Get(const StackConfig& stack, const WorkloadConfig& base,
+                            double target_util);
+
+ private:
+  std::string cache_path_;
+  bool dirty_ = false;
+  std::map<std::string, CalibratedRate> cache_;
+};
+
+}  // namespace duet
+
+#endif  // SRC_HARNESS_CALIBRATE_H_

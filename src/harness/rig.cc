@@ -1,0 +1,42 @@
+#include "src/harness/rig.h"
+
+namespace duet {
+
+CowRig::CowRig(const StackConfig& stack, const WorkloadConfig& workload_config)
+    : stack_(stack),
+      device_(&loop_, MakeDiskModel(stack), MakeScheduler(stack)),
+      fs_(&loop_, &device_, stack.cache_pages),
+      duet_(&fs_),
+      workload_(&fs_, workload_config) {
+  Status setup = workload_.Setup();
+  assert(setup.ok());
+  (void)setup;
+}
+
+LogRig::LogRig(const StackConfig& stack, const WorkloadConfig& workload_config,
+               uint32_t segment_blocks)
+    : stack_(stack),
+      device_(&loop_, MakeDiskModel(stack), MakeScheduler(stack)),
+      fs_(&loop_, &device_, stack.cache_pages, segment_blocks),
+      duet_(&fs_),
+      workload_(&fs_, workload_config) {
+  Status setup = workload_.Setup();
+  assert(setup.ok());
+  (void)setup;
+}
+
+WorkloadConfig MakeWorkloadConfig(const StackConfig& stack, Personality personality,
+                                  double coverage, bool skewed, double ops_per_sec,
+                                  uint64_t seed) {
+  WorkloadConfig config;
+  config.personality = personality;
+  config.file_count = stack.FileCount();
+  config.mean_file_size = stack.mean_file_size;
+  config.coverage = coverage;
+  config.skewed = skewed;
+  config.ops_per_sec = ops_per_sec;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace duet

@@ -1,0 +1,71 @@
+// Fully wired simulation stacks for experiments: event loop, block device,
+// file system, Duet framework, and a Filebench workload.
+#ifndef SRC_HARNESS_RIG_H_
+#define SRC_HARNESS_RIG_H_
+
+#include <memory>
+
+#include "src/cowfs/cowfs.h"
+#include "src/duet/duet_core.h"
+#include "src/harness/stack_config.h"
+#include "src/logfs/logfs.h"
+#include "src/workload/filebench.h"
+
+namespace duet {
+
+// cowfs stack (scrubbing / backup / defragmentation / rsync source).
+class CowRig {
+ public:
+  CowRig(const StackConfig& stack, const WorkloadConfig& workload_config);
+
+  EventLoop& loop() { return loop_; }
+  BlockDevice& device() { return device_; }
+  CowFs& fs() { return fs_; }
+  DuetCore& duet() { return duet_; }
+  FilebenchWorkload& workload() { return workload_; }
+  const StackConfig& stack() const { return stack_; }
+
+  // Measures best-effort device utilization over [since, now].
+  double UtilizationSince(SimTime since, SimDuration busy_snapshot) const {
+    return device_.BestEffortUtilizationSince(since, busy_snapshot);
+  }
+
+ private:
+  StackConfig stack_;
+  EventLoop loop_;
+  BlockDevice device_;
+  CowFs fs_;
+  DuetCore duet_;
+  FilebenchWorkload workload_;
+};
+
+// logfs stack (garbage collection).
+class LogRig {
+ public:
+  LogRig(const StackConfig& stack, const WorkloadConfig& workload_config,
+         uint32_t segment_blocks = 512);
+
+  EventLoop& loop() { return loop_; }
+  BlockDevice& device() { return device_; }
+  LogFs& fs() { return fs_; }
+  DuetCore& duet() { return duet_; }
+  FilebenchWorkload& workload() { return workload_; }
+
+ private:
+  StackConfig stack_;
+  EventLoop loop_;
+  BlockDevice device_;
+  LogFs fs_;
+  DuetCore duet_;
+  FilebenchWorkload workload_;
+};
+
+// Fills in the workload's file set parameters from the stack config and
+// returns the adjusted config.
+WorkloadConfig MakeWorkloadConfig(const StackConfig& stack, Personality personality,
+                                  double coverage, bool skewed, double ops_per_sec,
+                                  uint64_t seed);
+
+}  // namespace duet
+
+#endif  // SRC_HARNESS_RIG_H_

@@ -1,0 +1,260 @@
+#include "src/harness/runner.h"
+
+#include <cassert>
+#include <memory>
+
+namespace duet {
+
+const char* MaintKindName(MaintKind kind) {
+  switch (kind) {
+    case MaintKind::kScrub:
+      return "scrub";
+    case MaintKind::kBackup:
+      return "backup";
+    case MaintKind::kDefrag:
+      return "defrag";
+  }
+  return "unknown";
+}
+
+uint64_t MaintenanceRunResult::TotalTaskIo() const {
+  uint64_t io = 0;
+  for (const TaskStats& s : task_stats) {
+    io += s.TotalIoPages();
+  }
+  return io;
+}
+
+uint64_t MaintenanceRunResult::TotalWork() const {
+  uint64_t work = 0;
+  for (const TaskStats& s : task_stats) {
+    work += s.work_total;
+  }
+  return work;
+}
+
+double MaintenanceRunResult::IoSavedFraction() const {
+  // Table 4: maintenance I/O saved with Duet over the total maintenance I/O
+  // without Duet. Only I/O that was actually *avoided* counts — work the
+  // task never got to attempt within the window does not.
+  uint64_t work = TotalWork();
+  if (work == 0) {
+    return 0;
+  }
+  uint64_t saved = 0;
+  for (const TaskStats& s : task_stats) {
+    saved += s.saved_read_pages + s.saved_write_pages;
+  }
+  saved = std::min(saved, work);
+  return static_cast<double>(saved) / static_cast<double>(work);
+}
+
+double MaintenanceRunResult::WorkCompletedFraction() const {
+  uint64_t work = TotalWork();
+  if (work == 0) {
+    return 1.0;
+  }
+  uint64_t done = 0;
+  for (const TaskStats& s : task_stats) {
+    done += std::min(s.work_done, s.work_total);
+  }
+  return static_cast<double>(done) / static_cast<double>(work);
+}
+
+MaintenanceRunResult RunMaintenance(const MaintenanceRunConfig& config) {
+  WorkloadConfig workload = MakeWorkloadConfig(
+      config.stack, config.personality, config.coverage, config.skewed,
+      /*ops_per_sec=*/0, config.seed);
+  workload.fragmented_fraction = config.fragmented_fraction;
+
+  bool run_workload = config.target_util > 0;
+  if (run_workload) {
+    if (config.ops_per_sec >= 0) {
+      workload.ops_per_sec = config.unthrottled ? 0 : config.ops_per_sec;
+    } else {
+      CalibratedRate rate = CalibrateRate(config.stack, workload, config.target_util);
+      workload.ops_per_sec = rate.unthrottled ? 0 : rate.ops_per_sec;
+    }
+  }
+
+  CowRig rig(config.stack, workload);
+  if (config.informed_eviction) {
+    rig.fs().cache().SetEvictionAdvisor(
+        [&rig](InodeNo ino, PageIdx idx) {
+          return rig.duet().ProcessedByAllSessions(ino, idx);
+        });
+  }
+
+  // Instantiate the requested maintenance tasks.
+  std::unique_ptr<Scrubber> scrub;
+  std::unique_ptr<Backup> backup;
+  std::unique_ptr<DefragTask> defrag;
+  for (MaintKind kind : config.tasks) {
+    switch (kind) {
+      case MaintKind::kScrub: {
+        ScrubberConfig c;
+        c.use_duet = config.use_duet;
+        scrub = std::make_unique<Scrubber>(&rig.fs(), &rig.duet(), c);
+        break;
+      }
+      case MaintKind::kBackup: {
+        BackupConfig c;
+        c.use_duet = config.use_duet;
+        backup = std::make_unique<Backup>(&rig.fs(), &rig.duet(), c);
+        break;
+      }
+      case MaintKind::kDefrag: {
+        DefragConfig c;
+        c.use_duet = config.use_duet;
+        defrag = std::make_unique<DefragTask>(&rig.fs(), &rig.duet(), c);
+        break;
+      }
+    }
+  }
+
+  if (scrub != nullptr) {
+    scrub->Start();
+  }
+  if (backup != nullptr) {
+    backup->Start();
+  }
+  if (defrag != nullptr) {
+    defrag->Start();
+  }
+  if (run_workload) {
+    rig.workload().Start();
+  }
+
+  rig.loop().RunUntil(config.stack.window);
+
+  MaintenanceRunResult result;
+  result.measured_util = rig.UtilizationSince(0, 0);
+  result.duet_stats = rig.duet().stats();
+  result.workload_ops = rig.workload().stats().ops_completed;
+  result.workload_latency_ms = rig.workload().stats().latency_ms.mean();
+  rig.workload().Stop();
+
+  // Stop tasks first: Stop() finalizes accounting (e.g. the scrubber's
+  // done-bitmap-derived savings) before releasing Duet sessions.
+  if (scrub != nullptr) {
+    scrub->Stop();
+  }
+  if (backup != nullptr) {
+    backup->Stop();
+  }
+  if (defrag != nullptr) {
+    defrag->Stop();
+  }
+  result.all_finished = true;
+  for (MaintKind kind : config.tasks) {
+    const TaskStats* stats = nullptr;
+    switch (kind) {
+      case MaintKind::kScrub:
+        stats = &scrub->stats();
+        break;
+      case MaintKind::kBackup:
+        stats = &backup->stats();
+        break;
+      case MaintKind::kDefrag:
+        stats = &defrag->stats();
+        break;
+    }
+    result.task_stats.push_back(*stats);
+    result.all_finished = result.all_finished && stats->finished;
+  }
+  return result;
+}
+
+double FindMaxUtilization(MaintenanceRunConfig config, double step) {
+  double best = -1;
+  for (double util = 0; util <= 1.0001; util += step) {
+    config.target_util = util;
+    config.ops_per_sec = -1;  // calibrate per level
+    MaintenanceRunResult result = RunMaintenance(config);
+    // A target the workload cannot actually reach (its natural maximum is
+    // lower) does not count as a higher utilization level.
+    bool reachable = util <= 0.01 || result.measured_util >= util - 0.08;
+    if (result.all_finished && reachable) {
+      best = util;
+    } else if (util > 0) {
+      break;  // completion is monotone in utilization
+    }
+  }
+  return best;
+}
+
+RsyncRunResult RunRsync(const StackConfig& stack, Personality personality,
+                        double coverage, bool skewed, bool use_duet, uint64_t seed) {
+  WorkloadConfig workload =
+      MakeWorkloadConfig(stack, personality, coverage, skewed, /*ops_per_sec=*/0, seed);
+  CowRig rig(stack, workload);
+
+  // Destination: a second device + file system in the same simulation.
+  BlockDevice dst_device(&rig.loop(), MakeDiskModel(stack), MakeScheduler(stack));
+  CowFs dst_fs(&rig.loop(), &dst_device, stack.cache_pages);
+  Result<InodeNo> dst_dir = dst_fs.Mkdir("/backup");
+  assert(dst_dir.ok());
+  (void)dst_dir;
+
+  RsyncConfig config;
+  config.use_duet = use_duet;
+  config.source_dir = "/data";
+  config.dest_dir = "/backup";
+  RsyncTask task(&rig.fs(), &dst_fs, &rig.duet(), config);
+
+  RsyncRunResult out;
+  bool finished = false;
+  SimTime started = rig.loop().now();
+  task.Start([&] { finished = true; });
+  rig.workload().Start();
+
+  // Run until rsync completes (cap at 40x the window as a safety net).
+  SimTime cap = started + 40 * stack.window;
+  while (!finished && rig.loop().now() < cap) {
+    rig.loop().RunUntil(rig.loop().now() + Seconds(1));
+  }
+  rig.workload().Stop();
+  out.finished = finished;
+  out.runtime = (finished ? task.stats().finished_at : rig.loop().now()) - started;
+  out.stats = task.stats();
+  task.Stop();
+  return out;
+}
+
+GcRunResult RunGc(const StackConfig& stack, double target_util, bool use_duet,
+                  uint64_t seed, double ops_per_sec, bool unthrottled, bool skewed) {
+  WorkloadConfig workload = MakeWorkloadConfig(stack, Personality::kFileserver,
+                                               /*coverage=*/1.0, skewed,
+                                               /*ops_per_sec=*/0, seed);
+  if (ops_per_sec >= 0) {
+    workload.ops_per_sec = unthrottled ? 0 : ops_per_sec;
+  } else if (target_util > 0) {
+    // Calibrate on a cowfs stack — close enough for the same device model —
+    // to avoid a second calibration code path.
+    CalibratedRate rate = CalibrateRate(stack, workload, target_util);
+    workload.ops_per_sec = rate.unthrottled ? 0 : rate.ops_per_sec;
+  }
+
+  LogRig rig(stack, workload);
+  GcConfig config;
+  config.use_duet = use_duet;
+  config.wake_interval = Millis(100);
+  config.idle_threshold = Millis(10);
+  GcTask gc(&rig.fs(), &rig.duet(), config);
+  gc.Start();
+  rig.workload().Start();
+  rig.loop().RunUntil(stack.window);
+  rig.workload().Stop();
+
+  GcRunResult out;
+  out.cleaning_time_ms = gc.cleaning_time_ms();
+  out.segments_cleaned = gc.segments_cleaned();
+  out.scattered_writes = rig.fs().scattered_writes();
+  out.blocks_read = gc.stats().io_read_pages;
+  out.blocks_cached = gc.stats().saved_read_pages;
+  out.measured_util = rig.device().BestEffortUtilizationSince(0, 0);
+  gc.Stop();
+  return out;
+}
+
+}  // namespace duet

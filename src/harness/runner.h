@@ -1,0 +1,93 @@
+// Experiment runners: build a stack, start the workload at a calibrated
+// rate, run one or more maintenance tasks (baseline or Duet mode), and
+// report the paper's metrics (Table 4).
+#ifndef SRC_HARNESS_RUNNER_H_
+#define SRC_HARNESS_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/calibrate.h"
+#include "src/harness/rig.h"
+#include "src/tasks/backup.h"
+#include "src/tasks/defrag_task.h"
+#include "src/tasks/gc_task.h"
+#include "src/tasks/rsync_task.h"
+#include "src/tasks/scrubber.h"
+#include "src/util/stats.h"
+
+namespace duet {
+
+enum class MaintKind { kScrub, kBackup, kDefrag };
+
+const char* MaintKindName(MaintKind kind);
+
+struct MaintenanceRunConfig {
+  StackConfig stack;
+  Personality personality = Personality::kWebserver;
+  double coverage = 1.0;
+  bool skewed = false;
+  double target_util = 0.5;       // 0 = no foreground workload
+  std::vector<MaintKind> tasks;
+  bool use_duet = false;
+  double fragmented_fraction = 0; // aged FS for defrag experiments
+  // Informed cache replacement: evict already-processed pages first (§2's
+  // PACMan-style extension).
+  bool informed_eviction = false;
+  uint64_t seed = 42;
+  // Pre-calibrated rate (reuse across runs); negative = calibrate here.
+  double ops_per_sec = -1;
+  bool unthrottled = false;
+};
+
+struct MaintenanceRunResult {
+  // Indexed like MaintenanceRunConfig::tasks.
+  std::vector<TaskStats> task_stats;
+  bool all_finished = false;
+  double measured_util = 0;       // best-effort utilization during the run
+  DuetStats duet_stats;
+  uint64_t workload_ops = 0;
+  double workload_latency_ms = 0;
+
+  uint64_t TotalTaskIo() const;
+  uint64_t TotalWork() const;     // the without-Duet maintenance I/O
+  // Table 4's "I/O saved": fraction of the baseline maintenance I/O avoided.
+  double IoSavedFraction() const;
+  double WorkCompletedFraction() const;
+};
+
+// Runs maintenance task(s) concurrently with the workload for the stack's
+// window. Tasks run at idle I/O priority.
+MaintenanceRunResult RunMaintenance(const MaintenanceRunConfig& config);
+
+// Finds the maximum utilization (in `step` increments, e.g. 0.1) at which
+// all tasks still finish within the window (paper Table 5).
+double FindMaxUtilization(MaintenanceRunConfig config, double step = 0.1);
+
+// Rsync experiment (§6.2, Fig. 4): source workload runs unthrottled; rsync
+// runs at normal priority until completion. Returns the task runtime.
+struct RsyncRunResult {
+  SimDuration runtime = 0;
+  TaskStats stats;
+  bool finished = false;
+};
+RsyncRunResult RunRsync(const StackConfig& stack, Personality personality,
+                        double coverage, bool skewed, bool use_duet, uint64_t seed);
+
+// GC experiment (§6.2, Table 6): fileserver on logfs at a target utilization;
+// measures per-segment cleaning time.
+struct GcRunResult {
+  RunningStats cleaning_time_ms;
+  uint64_t segments_cleaned = 0;
+  uint64_t scattered_writes = 0;
+  uint64_t blocks_read = 0;    // synchronous cleaning reads performed
+  uint64_t blocks_cached = 0;  // cleaning reads saved by the cache
+  double measured_util = 0;
+};
+GcRunResult RunGc(const StackConfig& stack, double target_util, bool use_duet,
+                  uint64_t seed, double ops_per_sec = -1, bool unthrottled = false,
+                  bool skewed = false);
+
+}  // namespace duet
+
+#endif  // SRC_HARNESS_RUNNER_H_

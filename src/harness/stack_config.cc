@@ -1,0 +1,32 @@
+#include "src/harness/stack_config.h"
+
+namespace duet {
+
+std::unique_ptr<DiskModel> MakeDiskModel(const StackConfig& config) {
+  if (config.device == DeviceKind::kSsd) {
+    SsdParams params;
+    params.capacity_blocks = config.capacity_blocks;
+    return std::make_unique<SsdModel>(params);
+  }
+  HddParams params;
+  params.capacity_blocks = config.capacity_blocks;
+  return std::make_unique<HddModel>(params);
+}
+
+std::unique_ptr<IoScheduler> MakeScheduler(const StackConfig& config) {
+  if (config.scheduler == SchedulerKind::kDeadline) {
+    return std::make_unique<DeadlineScheduler>();
+  }
+  return std::make_unique<CfqScheduler>(config.idle_grace);
+}
+
+StackConfig QuickStackConfig() {
+  StackConfig config;
+  config.capacity_blocks = 163'840;                 // 640 MiB device
+  config.data_bytes = 512ull * 1024 * 1024;         // 512 MiB of data
+  config.cache_pages = 2'621;                       // ~2%
+  config.window = Seconds(18);                      // 1/100 of 30 min
+  return config;
+}
+
+}  // namespace duet

@@ -1,0 +1,304 @@
+#include "src/logfs/logfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <memory>
+#include <utility>
+
+namespace duet {
+
+LogFs::LogFs(EventLoop* loop, BlockDevice* device, uint64_t cache_pages,
+             uint32_t segment_blocks, WritebackParams wb_params)
+    : FileSystem(loop, device, cache_pages, wb_params),
+      segment_blocks_(segment_blocks),
+      valid_(device->capacity_blocks()) {
+  assert(segment_blocks_ > 0);
+  sit_.resize((device->capacity_blocks() + segment_blocks_ - 1) / segment_blocks_);
+}
+
+uint64_t LogFs::free_segments() const {
+  uint64_t free = 0;
+  for (SegmentNo s = 0; s < sit_.size(); ++s) {
+    if (s != open_segment_ && sit_[s].valid == 0 && sit_[s].written == 0) {
+      ++free;
+    }
+  }
+  return free;
+}
+
+std::vector<BlockNo> LogFs::ValidBlocksOf(SegmentNo seg) const {
+  std::vector<BlockNo> blocks;
+  BlockNo start = seg * segment_blocks_;
+  BlockNo end = std::min<BlockNo>(start + segment_blocks_, capacity_blocks());
+  for (BlockNo b = start; b < end; ++b) {
+    if (valid_.Test(b)) {
+      blocks.push_back(b);
+    }
+  }
+  return blocks;
+}
+
+uint64_t LogFs::CachedValidBlocksOf(SegmentNo seg) const {
+  uint64_t cached = 0;
+  for (BlockNo b : ValidBlocksOf(seg)) {
+    Result<BlockOwner> owner = Rmap(b);
+    if (owner.ok() && cache_.Contains(owner->ino, owner->idx)) {
+      ++cached;
+    }
+  }
+  return cached;
+}
+
+std::optional<SegmentNo> LogFs::FindFreeSegment() {
+  for (SegmentNo s = 0; s < sit_.size(); ++s) {
+    if (s != open_segment_ && sit_[s].valid == 0) {
+      // Reset a fully-invalidated segment before reuse.
+      sit_[s].written = 0;
+      return s;
+    }
+  }
+  return std::nullopt;
+}
+
+Result<BlockNo> LogFs::LogAppend() {
+  if (sit_[open_segment_].written >= segment_blocks_) {
+    std::optional<SegmentNo> next = FindFreeSegment();
+    if (next.has_value()) {
+      open_segment_ = *next;
+    } else {
+      // Out of clean segments: overwrite an invalid slot inside some
+      // already-written segment (the paper's slow scattered-write mode,
+      // §6.2 Garbage collection).
+      for (SegmentNo s = 0; s < sit_.size(); ++s) {
+        BlockNo start = s * segment_blocks_;
+        BlockNo end = std::min<BlockNo>(start + sit_[s].written, capacity_blocks());
+        for (BlockNo b = start; b < end; ++b) {
+          if (!valid_.Test(b)) {
+            ++scattered_writes_;
+            valid_.Set(b);
+            ++sit_[s].valid;
+            sit_[s].mtime = loop_->now();
+            ++allocated_blocks_;
+            return b;
+          }
+        }
+      }
+      return Status(StatusCode::kNoSpace, "logfs full");
+    }
+  }
+  SegmentInfo& info = sit_[open_segment_];
+  BlockNo block = open_segment_ * segment_blocks_ + info.written;
+  if (block >= capacity_blocks()) {
+    return Status(StatusCode::kNoSpace, "logfs tail segment truncated");
+  }
+  ++info.written;
+  ++info.valid;
+  info.mtime = loop_->now();
+  valid_.Set(block);
+  ++allocated_blocks_;
+  return block;
+}
+
+void LogFs::Invalidate(BlockNo block) {
+  if (!valid_.Test(block)) {
+    return;
+  }
+  valid_.Clear(block);
+  SegmentNo seg = SegmentOf(block);
+  assert(sit_[seg].valid > 0);
+  --sit_[seg].valid;
+  sit_[seg].mtime = loop_->now();
+  --allocated_blocks_;
+  ClearOwner(block);
+}
+
+Result<BlockNo> LogFs::AllocateForWrite(InodeNo ino, PageIdx idx, BlockNo old_block) {
+  Result<BlockNo> fresh = LogAppend();
+  if (!fresh.ok()) {
+    return fresh;
+  }
+  if (old_block != kInvalidBlock) {
+    Invalidate(old_block);
+  }
+  SetMapping(ino, idx, *fresh);
+  return fresh;
+}
+
+void LogFs::FreeFileBlocks(InodeNo ino) {
+  auto it = fmap_.find(ino);
+  if (it == fmap_.end()) {
+    return;
+  }
+  for (BlockNo block : it->second.blocks) {
+    if (block != kInvalidBlock) {
+      Invalidate(block);
+    }
+  }
+}
+
+std::optional<SegmentNo> LogFs::SelectVictim(
+    SegmentNo window_start, uint64_t window,
+    const std::function<double(SegmentNo, const SegmentInfo&)>& cost) const {
+  std::optional<SegmentNo> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  uint64_t n = std::min<uint64_t>(window, sit_.size());
+  for (uint64_t i = 0; i < n; ++i) {
+    SegmentNo s = (window_start + i) % sit_.size();
+    const SegmentInfo& info = sit_[s];
+    if (s == open_segment_ || info.written == 0) {
+      continue;  // open log head or never-written segment
+    }
+    if (info.valid >= info.written) {
+      continue;  // nothing invalid to reclaim
+    }
+    double c = cost(s, info);
+    if (c < best_cost) {
+      best_cost = c;
+      best = s;
+    }
+  }
+  return best;
+}
+
+void LogFs::CleanSegment(SegmentNo seg, IoClass io_class,
+                         std::function<void(const CleanResult&)> cb) {
+  auto result = std::make_shared<CleanResult>();
+  result->segment = seg;
+  SimTime started = loop_->now();
+  auto finish = [this, cb = std::move(cb), result, started](Status status) {
+    result->status = std::move(status);
+    result->duration = loop_->now() - started;
+    loop_->ScheduleAfter(0, [cb, result] { cb(*result); });
+  };
+
+  struct Victim {
+    BlockNo block;
+    InodeNo ino;
+    PageIdx idx;
+  };
+  std::vector<Victim> victims;
+  std::vector<Victim> to_read;
+  for (BlockNo b : ValidBlocksOf(seg)) {
+    Result<BlockOwner> owner = Rmap(b);
+    if (!owner.ok()) {
+      // A valid block must have an owner; treat as corruption.
+      finish(Status(StatusCode::kCorruption, "valid block without owner"));
+      return;
+    }
+    Victim v{b, owner->ino, owner->idx};
+    victims.push_back(v);
+    if (cache_.Contains(v.ino, v.idx)) {
+      ++result->blocks_from_cache;
+    } else {
+      to_read.push_back(v);
+    }
+  }
+  if (victims.empty()) {
+    finish(Status::Ok());
+    return;
+  }
+
+  // Phase 2 (after reads): re-append every still-valid block to the log and
+  // leave its page dirty for asynchronous writeback.
+  auto move_phase = [this, seg, victims = std::move(victims), result, finish] {
+    for (const Victim& v : victims) {
+      if (!valid_.Test(v.block)) {
+        continue;  // invalidated while we were reading (foreground write)
+      }
+      Result<BlockOwner> owner = Rmap(v.block);
+      if (!owner.ok() || owner->ino != v.ino || owner->idx != v.idx) {
+        continue;  // remapped under us
+      }
+      const CachedPage* page = cache_.Peek(v.ino, v.idx);
+      uint64_t token = (page != nullptr) ? page->data : disk_data_[v.block];
+      Result<BlockNo> fresh = LogAppend();
+      if (!fresh.ok()) {
+        finish(fresh.status());
+        return;
+      }
+      SetMapping(v.ino, v.idx, *fresh);
+      Invalidate(v.block);
+      if (!cache_.MarkDirty(v.ino, v.idx, token)) {
+        cache_.Insert(v.ino, v.idx, token, /*dirty=*/true);
+      }
+      ++result->blocks_moved;
+    }
+    (void)seg;
+    writeback_.MaybeKick();
+    finish(Status::Ok());
+  };
+
+  if (to_read.empty()) {
+    move_phase();
+    return;
+  }
+
+  // Phase 1: synchronous reads of uncached victim blocks (coalesced; blocks
+  // within one segment are nearly contiguous). Pages enter the cache clean,
+  // emitting Added events for any interested Duet session.
+  std::sort(to_read.begin(), to_read.end(),
+            [](const Victim& a, const Victim& b) { return a.block < b.block; });
+  auto outstanding = std::make_shared<uint64_t>(0);
+  auto move_shared = std::make_shared<std::function<void()>>(std::move(move_phase));
+  size_t i = 0;
+  while (i < to_read.size()) {
+    size_t j = i + 1;
+    while (j < to_read.size() && to_read[j].block == to_read[j - 1].block + 1) {
+      ++j;
+    }
+    std::vector<Victim> run(to_read.begin() + static_cast<long>(i),
+                            to_read.begin() + static_cast<long>(j));
+    IoRequest req;
+    req.block = run.front().block;
+    req.count = static_cast<uint32_t>(run.size());
+    req.dir = IoDir::kRead;
+    req.io_class = io_class;
+    ++result->device_ops;
+    ++*outstanding;
+    req.done = [this, run = std::move(run), result, outstanding, move_shared] {
+      for (const Victim& v : run) {
+        ++result->blocks_read_disk;
+        if (!cache_.Contains(v.ino, v.idx)) {
+          cache_.Insert(v.ino, v.idx, disk_data_[v.block], /*dirty=*/false);
+        }
+      }
+      if (--*outstanding == 0) {
+        (*move_shared)();
+      }
+    };
+    device_->Submit(std::move(req));
+    i = j;
+  }
+}
+
+double GcCostBaseline(const SegmentInfo& info, uint32_t segment_blocks, SimTime now) {
+  // F2fs-style cost-benefit: cost grows with the data to move and shrinks
+  // with age. u = utilization of the segment; cost ∝ 2u / ((1-u) * age).
+  double u = static_cast<double>(info.valid) / static_cast<double>(segment_blocks);
+  if (u >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double age_s = ToSeconds(now > info.mtime ? now - info.mtime : 0) + 1.0;
+  return (2.0 * u) / ((1.0 - u) * age_s);
+}
+
+double GcCostDuet(const SegmentInfo& info, uint32_t segment_blocks, SimTime now,
+                  uint64_t cached_blocks) {
+  // §5.4: moved blocks drop from valid to valid - cached/2 (reads and writes
+  // weighed equally; cached blocks save the read half).
+  double moved = static_cast<double>(info.valid) -
+                 static_cast<double>(cached_blocks) / 2.0;
+  if (moved < 0) {
+    moved = 0;
+  }
+  double u = moved / static_cast<double>(segment_blocks);
+  double u_real = static_cast<double>(info.valid) / static_cast<double>(segment_blocks);
+  if (u_real >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double age_s = ToSeconds(now > info.mtime ? now - info.mtime : 0) + 1.0;
+  return (2.0 * u) / ((1.0 - u_real) * age_s);
+}
+
+}  // namespace duet

@@ -1,0 +1,61 @@
+#include "src/sim/event_loop.h"
+
+#include <cassert>
+#include <utility>
+
+namespace duet {
+
+EventId EventLoop::ScheduleAt(SimTime when, std::function<void()> fn) {
+  assert(fn != nullptr);
+  if (when < now_) {
+    when = now_;
+  }
+  EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+EventId EventLoop::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventLoop::Cancel(EventId id) { return pending_ids_.erase(id) > 0; }
+
+bool EventLoop::SkimCancelled() {
+  while (!heap_.empty() && pending_ids_.count(heap_.top().id) == 0) {
+    heap_.pop();
+  }
+  return !heap_.empty();
+}
+
+bool EventLoop::RunOne() {
+  if (!SkimCancelled()) {
+    return false;
+  }
+  Entry top = heap_.top();
+  heap_.pop();
+  pending_ids_.erase(top.id);
+  assert(top.when >= now_);
+  now_ = top.when;
+  ++executed_;
+  top.fn();
+  return true;
+}
+
+SimTime EventLoop::Run() {
+  while (RunOne()) {
+  }
+  return now_;
+}
+
+void EventLoop::RunUntil(SimTime deadline) {
+  while (SkimCancelled() && heap_.top().when <= deadline) {
+    RunOne();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace duet

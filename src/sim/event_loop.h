@@ -1,0 +1,83 @@
+// Discrete-event simulation loop: a virtual clock plus a time-ordered queue
+// of callbacks. Components (block device, writeback, workload generator,
+// maintenance task runners) schedule events against one shared loop.
+//
+// Events scheduled for the same instant run in scheduling order (FIFO), which
+// keeps the simulation deterministic.
+#ifndef SRC_SIM_EVENT_LOOP_H_
+#define SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace duet {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when` (clamped to now()).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` after the current time.
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if it already ran or was cancelled.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue is empty. Returns the final time.
+  SimTime Run();
+
+  // Runs all events with time <= deadline, then advances the clock to
+  // `deadline` (even if the queue still has later events).
+  void RunUntil(SimTime deadline);
+
+  // Runs a single event if one is pending. Returns false if the queue is
+  // empty.
+  bool RunOne();
+
+  uint64_t pending_count() const { return pending_ids_.size(); }
+  uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  // Pops cancelled entries off the heap top. Returns false if empty after.
+  bool SkimCancelled();
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Ids that are scheduled and not yet run or cancelled. A heap entry whose
+  // id is absent here is a cancelled tombstone and is skipped.
+  std::unordered_set<EventId> pending_ids_;
+};
+
+}  // namespace duet
+
+#endif  // SRC_SIM_EVENT_LOOP_H_

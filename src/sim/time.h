@@ -1,0 +1,42 @@
+// Virtual time for the discrete-event simulation. All latency in the stack
+// (device service times, writeback timers, workload pacing) is expressed in
+// SimTime; no wall-clock time is ever consulted, so runs are deterministic.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace duet {
+
+// Nanoseconds since simulation start.
+using SimTime = uint64_t;
+// A duration, also in nanoseconds.
+using SimDuration = uint64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+
+constexpr SimDuration Micros(uint64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Millis(uint64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(uint64_t n) { return n * kSecond; }
+constexpr SimDuration Minutes(uint64_t n) { return n * kMinute; }
+
+// Converts a duration given as floating-point seconds; negative clamps to 0.
+constexpr SimDuration FromSeconds(double s) {
+  return s <= 0 ? 0 : static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr double ToMillis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace duet
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,228 @@
+#include "src/tasks/backup.h"
+
+#include <cassert>
+
+#include "src/duet/duet_library.h"
+
+namespace duet {
+
+Backup::Backup(CowFs* fs, DuetCore* duet, BackupConfig config)
+    : fs_(fs), duet_(duet), config_(config) {
+  assert(fs_ != nullptr);
+  assert(!config_.use_duet || duet_ != nullptr);
+}
+
+Backup::~Backup() { Stop(); }
+
+void Backup::Start(std::function<void()> on_finish) {
+  assert(!running_);
+  on_finish_ = std::move(on_finish);
+  running_ = true;
+  stats_ = TaskStats{};
+  stats_.started_at = fs_->loop().now();
+  fs_->CreateSnapshotAsync([this](Result<SnapshotId> snap) {
+    if (!snap.ok() || !running_) {
+      running_ = false;
+      return;
+    }
+    snapshot_ = *snap;
+    const CowFs::Snapshot* s = fs_->GetSnapshot(snapshot_);
+    for (const auto& [ino, file] : s->files) {
+      stats_.work_total += file.blocks.size();
+      sent_.emplace(ino, std::vector<bool>(file.blocks.size(), false));
+    }
+    file_it_ = s->files.begin();
+    if (config_.use_duet) {
+      Result<SessionId> sid = duet_->RegisterBlockTask(kDuetPageExists);
+      assert(sid.ok());
+      sid_ = *sid;
+      poll_event_ =
+          fs_->loop().ScheduleAfter(config_.fetch_interval, [this] { PollTick(); });
+    }
+    ProcessNextFile();
+  });
+}
+
+void Backup::PollTick() {
+  poll_event_ = kInvalidEvent;
+  if (!running_) {
+    return;
+  }
+  DrainDuetEvents();
+  if (pages_sent_ >= stats_.work_total) {
+    FinishRun();  // everything was copied opportunistically
+    return;
+  }
+  poll_event_ =
+      fs_->loop().ScheduleAfter(config_.fetch_interval, [this] { PollTick(); });
+}
+
+void Backup::Stop() {
+  running_ = false;
+  if (poll_event_ != kInvalidEvent) {
+    fs_->loop().Cancel(poll_event_);
+    poll_event_ = kInvalidEvent;
+  }
+  if (sid_ != kInvalidSession) {
+    (void)duet_->Deregister(sid_);
+    sid_ = kInvalidSession;
+  }
+  if (snapshot_ != 0) {
+    (void)fs_->DeleteSnapshot(snapshot_);
+    snapshot_ = 0;
+  }
+}
+
+bool Backup::MarkSent(InodeNo ino, PageIdx idx) {
+  auto it = sent_.find(ino);
+  if (it == sent_.end() || idx >= it->second.size() || it->second[idx]) {
+    return false;
+  }
+  it->second[idx] = true;
+  ++pages_sent_;
+  return true;
+}
+
+void Backup::DrainDuetEvents() {
+  ++stats_.fetch_calls;
+  const CowFs::Snapshot* snap = fs_->GetSnapshot(snapshot_);
+  DrainEvents(*duet_, sid_, [this, snap](const DuetItem& item) {
+    if (!item.has(kDuetPageExists)) {
+      return;  // ¬exists notifications are uninteresting here
+    }
+    BlockNo block = item.id;
+    Result<FileSystem::BlockOwner> owner = fs_->Rmap(block);
+    if (!owner.ok()) {
+      return;
+    }
+    auto file_entry = snap->files.find(owner->ino);
+    if (file_entry == snap->files.end() ||
+        owner->idx >= file_entry->second.blocks.size() ||
+        file_entry->second.blocks[owner->idx] != block) {
+      return;  // not part of the snapshot, or modified since
+    }
+    // "Lock the page, check that it is not dirty, copy it out" (§5.2).
+    const CachedPage* page = fs_->cache().Peek(owner->ino, owner->idx);
+    if (page == nullptr || page->dirty) {
+      return;  // hint went stale or content is in flux — back out
+    }
+    if (MarkSent(owner->ino, owner->idx)) {
+      ++stats_.work_done;
+      ++stats_.saved_read_pages;
+      ++stats_.opportunistic_units;
+      (void)duet_->SetDone(sid_, block);
+    }
+  }, config_.fetch_batch);
+}
+
+void Backup::FinishRun() {
+  stats_.finished = true;
+  stats_.finished_at = fs_->loop().now();
+  running_ = false;
+  if (poll_event_ != kInvalidEvent) {
+    fs_->loop().Cancel(poll_event_);
+    poll_event_ = kInvalidEvent;
+  }
+  if (sid_ != kInvalidSession) {
+    (void)duet_->Deregister(sid_);
+    sid_ = kInvalidSession;
+  }
+  if (on_finish_) {
+    on_finish_();
+  }
+}
+
+void Backup::ProcessNextFile() {
+  if (!running_) {
+    return;
+  }
+  if (config_.use_duet) {
+    DrainDuetEvents();
+  }
+  const CowFs::Snapshot* snap = fs_->GetSnapshot(snapshot_);
+  if (file_it_ == snap->files.end()) {
+    FinishRun();
+    return;
+  }
+  ProcessFileChunk(file_it_->first, 0);
+}
+
+void Backup::ProcessFileChunk(InodeNo ino, PageIdx next_page) {
+  if (!running_) {
+    return;
+  }
+  if (config_.use_duet) {
+    DrainDuetEvents();
+  }
+  const CowFs::Snapshot* snap = fs_->GetSnapshot(snapshot_);
+  auto file_entry = snap->files.find(ino);
+  assert(file_entry != snap->files.end());
+  const CowFs::SnapshotFile& file = file_entry->second;
+  const std::vector<bool>& sent = sent_.at(ino);
+
+  // Find the next unsent page of this file.
+  PageIdx p = next_page;
+  while (p < file.blocks.size() && sent[p]) {
+    ++p;
+  }
+  if (p >= file.blocks.size()) {
+    ++file_it_;
+    // Hop through the event loop: long runs of fully-sent files must not
+    // recurse on the stack.
+    fs_->loop().ScheduleAfter(0, [this] { ProcessNextFile(); });
+    return;
+  }
+
+  // Build a run of unsent pages with the same sharing category.
+  bool shared = fs_->SharedWithSnapshot(snapshot_, ino, p);
+  PageIdx end = p;
+  while (end < file.blocks.size() && !sent[end] && end - p < config_.chunk_pages &&
+         fs_->SharedWithSnapshot(snapshot_, ino, end) == shared) {
+    ++end;
+  }
+  uint64_t count = end - p;
+
+  auto complete = [this, ino, p, end](uint64_t read_pages, uint64_t cached_pages) {
+    if (!running_) {
+      return;  // the run finished (opportunistically) or was stopped
+    }
+    for (PageIdx q = p; q < end; ++q) {
+      if (MarkSent(ino, q)) {
+        ++stats_.work_done;
+      }
+    }
+    stats_.io_read_pages += read_pages;
+    stats_.saved_read_pages += cached_pages;
+    ProcessFileChunk(ino, end);
+  };
+
+  if (shared) {
+    // Unmodified since the snapshot: read through the live file (this
+    // populates the page cache — visible to other Duet tasks).
+    fs_->Read(ino, p * kPageSize, count * kPageSize, config_.io_class,
+              [complete](const FsIoResult& result) {
+                complete(result.pages_from_disk, result.pages_from_cache);
+              });
+  } else {
+    // Modified since the snapshot: stream the preserved old blocks.
+    std::vector<BlockNo> blocks(file.blocks.begin() + static_cast<long>(p),
+                                file.blocks.begin() + static_cast<long>(end));
+    fs_->ReadBlocks(std::move(blocks), config_.io_class,
+                    [complete](const RawReadResult& result) {
+                      complete(result.blocks_read, 0);
+                    });
+  }
+}
+
+bool Backup::AllPagesSentOnce() const {
+  for (const auto& [ino, pages] : sent_) {
+    for (bool sent : pages) {
+      if (!sent) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace duet

@@ -1,0 +1,156 @@
+#include "src/tasks/defrag_task.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace duet {
+
+DefragTask::DefragTask(CowFs* fs, DuetCore* duet, DefragConfig config)
+    : fs_(fs), duet_(duet), config_(config) {
+  assert(fs_ != nullptr);
+  assert(!config_.use_duet || duet_ != nullptr);
+}
+
+DefragTask::~DefragTask() { Stop(); }
+
+void DefragTask::Start(std::function<void()> on_finish) {
+  assert(!running_);
+  on_finish_ = std::move(on_finish);
+  running_ = true;
+  stats_ = TaskStats{};
+  stats_.started_at = fs_->loop().now();
+
+  // Collect fragmented files in inode order (the baseline processing order,
+  // Table 3). Work units are pages: each fragmented file costs read+write of
+  // all its pages.
+  Result<InodeNo> root = fs_->ns().Resolve(config_.root);
+  assert(root.ok());
+  std::vector<const Inode*> files;
+  fs_->ns().WalkDepthFirst(*root, [&](const Inode& inode) {
+    if (!inode.is_dir() && fs_->ExtentCount(inode.ino) > config_.extent_threshold) {
+      files.push_back(&inode);
+    }
+    return true;
+  });
+  std::sort(files.begin(), files.end(),
+            [](const Inode* a, const Inode* b) { return a->ino < b->ino; });
+  for (const Inode* f : files) {
+    targets_.push_back(f->ino);
+    stats_.work_total += 2 * f->PageCount();  // read + write
+  }
+  cursor_ = 0;
+
+  if (config_.use_duet) {
+    // Priority: fraction of the file's pages in memory relative to its size
+    // (§5.3).
+    queue_ = std::make_unique<InodePriorityQueue>(
+        [this](InodeNo ino, uint64_t pages) {
+          const Inode* inode = fs_->ns().Get(ino);
+          if (inode == nullptr || inode->PageCount() == 0) {
+            return 0.0;
+          }
+          return static_cast<double>(pages) /
+                 static_cast<double>(inode->PageCount());
+        });
+    Result<SessionId> sid = duet_->RegisterFileTask(config_.root, kDuetPageExists);
+    assert(sid.ok());
+    sid_ = *sid;
+  }
+  ProcessNext();
+}
+
+void DefragTask::Stop() {
+  running_ = false;
+  if (sid_ != kInvalidSession) {
+    (void)duet_->Deregister(sid_);
+    sid_ = kInvalidSession;
+  }
+}
+
+void DefragTask::DrainDuetEvents() {
+  ++stats_.fetch_calls;
+  DrainEvents(*duet_, sid_, *queue_, config_.fetch_batch);
+}
+
+bool DefragTask::ShouldProcess(InodeNo ino) const {
+  if (config_.use_duet && duet_->CheckDone(sid_, ino)) {
+    return false;
+  }
+  const Inode* inode = fs_->ns().Get(ino);
+  // A COW overwrite may have defragmented (or deleted) the file meanwhile —
+  // the task can simply skip it (§3.1).
+  return inode != nullptr && fs_->ExtentCount(ino) > config_.extent_threshold;
+}
+
+void DefragTask::FinishRun() {
+  stats_.finished = true;
+  stats_.finished_at = fs_->loop().now();
+  running_ = false;
+  if (sid_ != kInvalidSession) {
+    (void)duet_->Deregister(sid_);
+    sid_ = kInvalidSession;
+  }
+  if (on_finish_) {
+    on_finish_();
+  }
+}
+
+void DefragTask::ProcessNext() {
+  if (!running_) {
+    return;
+  }
+  // Opportunistic phase: drain events and process the hottest queued file.
+  if (config_.use_duet) {
+    DrainDuetEvents();
+    while (std::optional<InodeNo> hot = queue_->Dequeue()) {
+      if (ShouldProcess(*hot)) {
+        DefragOne(*hot, /*opportunistic=*/true);
+        return;
+      }
+    }
+  }
+  // Normal order: next fragmented file by inode number.
+  while (cursor_ < targets_.size()) {
+    InodeNo ino = targets_[cursor_++];
+    if (ShouldProcess(ino)) {
+      DefragOne(ino, /*opportunistic=*/false);
+      return;
+    }
+    if (config_.use_duet && duet_->CheckDone(sid_, ino)) {
+      continue;  // processed opportunistically; already credited there
+    }
+    // Defragmented by a COW overwrite or deleted by the workload: the
+    // obligation is discharged without I/O.
+    const Inode* inode = fs_->ns().Get(ino);
+    stats_.work_done += 2 * (inode != nullptr ? inode->PageCount() : 0);
+  }
+  FinishRun();
+}
+
+void DefragTask::DefragOne(InodeNo ino, bool opportunistic) {
+  fs_->DefragFile(ino, config_.io_class, [this, ino,
+                                          opportunistic](const DefragResult& result) {
+    if (result.status.ok()) {
+      ++files_defragmented_;
+      stats_.work_done += 2 * result.pages;
+      stats_.io_read_pages += result.pages_read_disk;
+      stats_.io_write_pages += result.pages_written;
+      stats_.saved_read_pages += result.pages_from_cache;
+      // Pages the workload had already dirtied would have been written back
+      // anyway — their writeback is work the system saves (§6.2).
+      stats_.saved_write_pages += result.dirty_pages;
+      if (opportunistic) {
+        stats_.opportunistic_units += 2 * result.pages;
+      }
+    }
+    if (config_.use_duet) {
+      (void)duet_->SetDone(sid_, ino);
+      queue_->Erase(ino);
+    }
+    if (running_) {
+      fs_->loop().ScheduleAfter(0, [this] { ProcessNext(); });
+    }
+  });
+}
+
+}  // namespace duet

@@ -1,0 +1,67 @@
+// Whole-file-system defragmentation task (paper §5.3), modeled on the
+// in-kernel Btrfs defragmenter the authors built: walks files in inode-number
+// order and rewrites fragmented files into contiguous extents.
+//
+// Opportunistic mode registers a Duet file task for Exists notifications and
+// keeps a priority queue of files ordered by the fraction of their pages in
+// memory (Algorithm 1); queued files are defragmented first, saving their
+// cached reads, and pages already dirtied by the workload count as saved
+// writes (they would have been written back anyway).
+#ifndef SRC_TASKS_DEFRAG_TASK_H_
+#define SRC_TASKS_DEFRAG_TASK_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cowfs/cowfs.h"
+#include "src/duet/duet_core.h"
+#include "src/duet/duet_library.h"
+#include "src/tasks/task_stats.h"
+
+namespace duet {
+
+struct DefragConfig {
+  bool use_duet = false;
+  // Only files with more than this many extents are rewritten.
+  uint64_t extent_threshold = 3;
+  IoClass io_class = IoClass::kIdle;
+  size_t fetch_batch = 256;
+  std::string root = "/";
+};
+
+class DefragTask {
+ public:
+  DefragTask(CowFs* fs, DuetCore* duet, DefragConfig config);
+  ~DefragTask();
+
+  void Start(std::function<void()> on_finish = nullptr);
+  void Stop();
+
+  const TaskStats& stats() const { return stats_; }
+  uint64_t files_defragmented() const { return files_defragmented_; }
+
+ private:
+  void ProcessNext();
+  // Defragments `ino` then continues with ProcessNext.
+  void DefragOne(InodeNo ino, bool opportunistic);
+  void DrainDuetEvents();
+  bool ShouldProcess(InodeNo ino) const;
+  void FinishRun();
+
+  CowFs* fs_;
+  DuetCore* duet_;
+  DefragConfig config_;
+  SessionId sid_ = kInvalidSession;
+  bool running_ = false;
+  std::vector<InodeNo> targets_;  // inode order (the baseline order)
+  size_t cursor_ = 0;
+  std::unique_ptr<InodePriorityQueue> queue_;
+  uint64_t files_defragmented_ = 0;
+  TaskStats stats_;
+  std::function<void()> on_finish_;
+};
+
+}  // namespace duet
+
+#endif  // SRC_TASKS_DEFRAG_TASK_H_

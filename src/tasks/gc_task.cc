@@ -1,0 +1,152 @@
+#include "src/tasks/gc_task.h"
+
+#include <cassert>
+
+#include "src/duet/duet_library.h"
+
+namespace duet {
+
+GcTask::GcTask(LogFs* fs, DuetCore* duet, GcConfig config)
+    : fs_(fs), duet_(duet), config_(config) {
+  assert(fs_ != nullptr);
+  assert(!config_.use_duet || duet_ != nullptr);
+  cached_.assign(fs_->segment_count(), 0);
+}
+
+GcTask::~GcTask() { Stop(); }
+
+void GcTask::Start() {
+  assert(!running_);
+  running_ = true;
+  stats_ = TaskStats{};
+  stats_.started_at = fs_->loop().now();
+  if (config_.use_duet) {
+    Result<SessionId> sid =
+        duet_->RegisterBlockTask(kDuetPageExists | kDuetPageFlushed);
+    assert(sid.ok());
+    sid_ = *sid;
+  }
+  tick_event_ = fs_->loop().ScheduleAfter(config_.wake_interval, [this] { Tick(); });
+}
+
+void GcTask::Stop() {
+  running_ = false;
+  if (tick_event_ != kInvalidEvent) {
+    fs_->loop().Cancel(tick_event_);
+    tick_event_ = kInvalidEvent;
+  }
+  if (sid_ != kInvalidSession) {
+    (void)duet_->Deregister(sid_);
+    sid_ = kInvalidSession;
+  }
+}
+
+void GcTask::DrainDuetEvents() {
+  ++stats_.fetch_calls;
+  DrainEvents(*duet_, sid_, [this](const DuetItem& item) {
+    SegmentNo seg = fs_->SegmentOf(item.id);
+    if (seg >= cached_.size()) {
+      return;
+    }
+    // Resolve the owning page through the back references (F2fs's SSA), so
+    // a page that moved segments adjusts both counters (§5.4).
+    Result<FileSystem::BlockOwner> owner = fs_->Rmap(item.id);
+    if (!owner.ok()) {
+      return;
+    }
+    std::pair<InodeNo, PageIdx> key{owner->ino, owner->idx};
+    auto counted = counted_.find(key);
+    if (item.has(kDuetPageRemoved)) {
+      // Page left the cache.
+      if (counted != counted_.end()) {
+        if (cached_[counted->second] > 0) {
+          --cached_[counted->second];
+        }
+        counted_.erase(counted);
+      }
+      return;
+    }
+    if (item.has(kDuetPageExists) || item.has(kDuetPageFlushed)) {
+      // Page is cached and currently backed by `seg`. Move the count if it
+      // was attributed to another segment (the block was relocated).
+      if (counted != counted_.end()) {
+        if (counted->second == seg) {
+          return;
+        }
+        if (cached_[counted->second] > 0) {
+          --cached_[counted->second];
+        }
+        counted->second = seg;
+      } else {
+        counted_.emplace(key, seg);
+      }
+      ++cached_[seg];
+    }
+  }, config_.fetch_batch);
+}
+
+double GcTask::VictimCost(SegmentNo seg, const SegmentInfo& info) const {
+  SimTime now = fs_->loop().now();
+  if (!config_.use_duet) {
+    return GcCostBaseline(info, fs_->segment_blocks(), now);
+  }
+  int64_t cached = cached_[seg];
+  if (cached < 0) {
+    cached = 0;
+  }
+  uint64_t capped = std::min<uint64_t>(static_cast<uint64_t>(cached), info.valid);
+  return GcCostDuet(info, fs_->segment_blocks(), now, capped);
+}
+
+void GcTask::Tick() {
+  tick_event_ = kInvalidEvent;
+  if (!running_) {
+    return;
+  }
+  auto reschedule = [this] {
+    if (running_) {
+      tick_event_ =
+          fs_->loop().ScheduleAfter(config_.wake_interval, [this] { Tick(); });
+    }
+  };
+  if (config_.use_duet) {
+    DrainDuetEvents();
+  }
+  // Run only when the device has been idle for a while (background GC) and
+  // cleaning is actually needed.
+  SimTime now = fs_->loop().now();
+  SimTime last_activity = fs_->device().last_best_effort_activity();
+  bool idle = !fs_->device().busy() && now - last_activity >= config_.idle_threshold;
+  bool needed = config_.free_watermark == 0 ||
+                fs_->free_segments() < config_.free_watermark;
+  if (!idle || !needed || cleaning_) {
+    reschedule();
+    return;
+  }
+  std::optional<SegmentNo> victim = fs_->SelectVictim(
+      window_cursor_, config_.window_segments,
+      [this](SegmentNo seg, const SegmentInfo& info) { return VictimCost(seg, info); });
+  window_cursor_ = (window_cursor_ + config_.window_segments) % fs_->segment_count();
+  if (!victim.has_value()) {
+    reschedule();
+    return;
+  }
+  cleaning_ = true;
+  fs_->CleanSegment(*victim, config_.io_class, [this, reschedule](const CleanResult& r) {
+    cleaning_ = false;
+    if (r.status.ok() && r.blocks_moved > 0) {
+      ++segments_cleaned_;
+      cleaning_time_ms_.Add(ToMillis(r.duration));
+      stats_.work_done += r.blocks_moved;
+      stats_.io_read_pages += r.blocks_read_disk;
+      stats_.saved_read_pages += r.blocks_from_cache;
+      // Counters for the cleaned segment are stale now; reset them.
+      if (r.segment < cached_.size()) {
+        cached_[r.segment] = 0;
+      }
+    }
+    reschedule();
+  });
+}
+
+}  // namespace duet

@@ -1,0 +1,271 @@
+#include "src/tasks/rsync_task.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace duet {
+namespace {
+
+// Joins base and relative paths with exactly one slash.
+std::string JoinPath(const std::string& base, const std::string& rel) {
+  std::string out = base;
+  if (!out.empty() && out.back() == '/') {
+    out.pop_back();
+  }
+  if (!rel.empty() && rel.front() != '/') {
+    out += '/';
+  }
+  out += rel;
+  return out.empty() ? "/" : out;
+}
+
+}  // namespace
+
+RsyncTask::RsyncTask(FileSystem* src, FileSystem* dst, DuetCore* duet,
+                     RsyncConfig config)
+    : src_(src), dst_(dst), duet_(duet), config_(config) {
+  assert(src_ != nullptr && dst_ != nullptr);
+  if (config_.use_duet) {
+    config_.hints = RsyncHints::kDuet;
+  }
+  assert(config_.hints != RsyncHints::kDuet || duet_ != nullptr);
+  config_.use_duet = config_.hints == RsyncHints::kDuet;
+}
+
+RsyncTask::~RsyncTask() { Stop(); }
+
+void RsyncTask::Start(std::function<void()> on_finish) {
+  assert(!running_);
+  on_finish_ = std::move(on_finish);
+  running_ = true;
+  stats_ = TaskStats{};
+  stats_.started_at = src_->loop().now();
+
+  Result<InodeNo> root = src_->ns().Resolve(config_.source_dir);
+  assert(root.ok());
+  src_->ns().WalkDepthFirst(*root, [&](const Inode& inode) {
+    if (!inode.is_dir()) {
+      worklist_.push_back(inode.ino);
+      stats_.work_total += 2 * inode.PageCount();  // read + write
+    }
+    return true;
+  });
+  cursor_ = 0;
+
+  if (config_.hints == RsyncHints::kDuet) {
+    // Priority: absolute number of pages in memory (§5.5).
+    queue_ = std::make_unique<InodePriorityQueue>(
+        [](InodeNo, uint64_t pages) { return static_cast<double>(pages); });
+    Result<SessionId> sid =
+        duet_->RegisterFileTask(config_.source_dir, kDuetPageExists);
+    assert(sid.ok());
+    sid_ = *sid;
+  } else if (config_.hints == RsyncHints::kInotify) {
+    // One watch per directory, recursively — the setup cost Duet avoids
+    // with a single registration (§3.3).
+    inotify_ = std::make_unique<Inotify>(src_);
+    Result<InodeNo> watch_root = src_->ns().Resolve(config_.source_dir);
+    assert(watch_root.ok());
+    Result<uint64_t> created =
+        inotify_->AddWatchRecursive(*watch_root, kInAccess | kInModify);
+    watches_created_ = created.ok() ? *created : 0;
+  }
+  ProcessNext();
+}
+
+void RsyncTask::Stop() {
+  running_ = false;
+  if (sid_ != kInvalidSession) {
+    (void)duet_->Deregister(sid_);
+    sid_ = kInvalidSession;
+  }
+}
+
+void RsyncTask::DrainDuetEvents() {
+  ++stats_.fetch_calls;
+  DrainEvents(*duet_, sid_, *queue_, config_.fetch_batch);
+}
+
+void RsyncTask::FinishRun() {
+  stats_.finished = true;
+  stats_.finished_at = src_->loop().now();
+  running_ = false;
+  if (sid_ != kInvalidSession) {
+    (void)duet_->Deregister(sid_);
+    sid_ = kInvalidSession;
+  }
+  if (on_finish_) {
+    on_finish_();
+  }
+}
+
+void RsyncTask::ProcessNext() {
+  if (!running_) {
+    return;
+  }
+  if (config_.hints == RsyncHints::kDuet) {
+    DrainDuetEvents();
+    while (std::optional<InodeNo> hot = queue_->Dequeue()) {
+      if (synced_.count(*hot) > 0) {
+        continue;
+      }
+      // The path lookup is the truth for the hint (§3.2): back out if the
+      // file's pages are gone or it left the registered directory.
+      if (!duet_->GetPath(sid_, *hot).ok()) {
+        continue;
+      }
+      SyncFile(*hot, /*opportunistic=*/true);
+      return;
+    }
+  } else if (config_.hints == RsyncHints::kInotify) {
+    // File-level hints only: most-recently-touched first, with no idea how
+    // much of the file is still cached (or whether it was evicted).
+    for (const InotifyEvent& event : inotify_->ReadEvents(config_.fetch_batch)) {
+      recent_.push_back(event.ino);
+    }
+    while (!recent_.empty()) {
+      InodeNo hot = recent_.back();
+      recent_.pop_back();
+      if (synced_.count(hot) > 0 || !src_->ns().Exists(hot)) {
+        continue;
+      }
+      SyncFile(hot, /*opportunistic=*/true);
+      return;
+    }
+  }
+  while (cursor_ < worklist_.size()) {
+    InodeNo ino = worklist_[cursor_++];
+    if (synced_.count(ino) > 0) {
+      continue;  // sent opportunistically; metadata goes out exactly once
+    }
+    if (!src_->ns().Exists(ino)) {
+      continue;  // deleted since the walk
+    }
+    SyncFile(ino, /*opportunistic=*/false);
+    return;
+  }
+  FinishRun();
+}
+
+void RsyncTask::SyncFile(InodeNo src_ino, bool opportunistic) {
+  synced_.insert(src_ino);
+  const Inode* inode = src_->ns().Get(src_ino);
+  if (inode == nullptr) {
+    src_->loop().ScheduleAfter(0, [this] { ProcessNext(); });
+    return;
+  }
+  // Sender transmits the file metadata; receiver creates the file (and any
+  // missing parent directories).
+  Result<std::string> src_path = src_->ns().PathOf(src_ino);
+  assert(src_path.ok());
+  std::string rel = *src_path;
+  Result<InodeNo> src_root = src_->ns().Resolve(config_.source_dir);
+  Result<std::string> base = src_->ns().PathOf(*src_root);
+  if (base.ok() && *base != "/") {
+    rel = rel.substr(base->size());
+  }
+  std::string dst_path = JoinPath(config_.dest_dir, rel);
+  // Ensure the destination directory chain exists.
+  auto parts = SplitPath(dst_path);
+  std::string prefix;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    prefix += '/';
+    prefix += parts[i];
+    Result<InodeNo> made = dst_->Mkdir(prefix);
+    (void)made;  // kExists is fine
+  }
+  Result<InodeNo> dst_ino = dst_->ns().Resolve(dst_path);
+  if (!dst_ino.ok()) {
+    dst_ino = dst_->CreateFile(dst_path);
+  }
+  if (!dst_ino.ok()) {
+    src_->loop().ScheduleAfter(0, [this] { ProcessNext(); });
+    return;
+  }
+  if (opportunistic) {
+    stats_.opportunistic_units += 2 * inode->PageCount();
+  }
+  CopyChunk(src_ino, *dst_ino, 0, inode->size, opportunistic);
+}
+
+void RsyncTask::CopyChunk(InodeNo src_ino, InodeNo dst_ino, PageIdx next_page,
+                          uint64_t src_size, bool opportunistic) {
+  if (!running_) {
+    return;
+  }
+  if (config_.hints == RsyncHints::kDuet) {
+    DrainDuetEvents();  // keep the queue fresh while a large file streams
+  }
+  uint64_t total_pages = PagesForBytes(src_size);
+  if (next_page >= total_pages) {
+    ++files_synced_;
+    src_->loop().ScheduleAfter(0, [this] { ProcessNext(); });
+    return;
+  }
+  uint64_t count = std::min<uint64_t>(config_.chunk_pages, total_pages - next_page);
+  ByteOff off = next_page * kPageSize;
+  uint64_t len = std::min<uint64_t>(count * kPageSize, src_size - off);
+  src_->Read(src_ino, off, len, config_.io_class,
+             [this, src_ino, dst_ino, next_page, count, src_size, off, len,
+              opportunistic](const FsIoResult& read) {
+               stats_.io_read_pages += read.pages_from_disk;
+               stats_.saved_read_pages += read.pages_from_cache;
+               stats_.work_done += read.pages_requested;
+               // Receiver writes the chunk contents to the destination.
+               std::vector<uint64_t> tokens;
+               tokens.reserve(count);
+               for (PageIdx q = next_page; q < next_page + count; ++q) {
+                 Result<uint64_t> content = src_->PageContent(src_ino, q);
+                 tokens.push_back(content.ok() ? *content : 0);
+               }
+               dst_->CopyIn(dst_ino, off, len, std::move(tokens), config_.io_class,
+                            [this, src_ino, dst_ino, next_page, count, src_size,
+                             opportunistic](const FsIoResult& write) {
+                              stats_.io_write_pages += write.pages_requested;
+                              stats_.work_done += write.pages_requested;
+                              CopyChunk(src_ino, dst_ino, next_page + count,
+                                        src_size, opportunistic);
+                            });
+             });
+}
+
+bool RsyncTask::DestinationMatchesSource() const {
+  Result<InodeNo> root = src_->ns().Resolve(config_.source_dir);
+  if (!root.ok()) {
+    return false;
+  }
+  bool match = true;
+  src_->ns().WalkDepthFirst(*root, [&](const Inode& inode) {
+    if (inode.is_dir()) {
+      return true;
+    }
+    Result<std::string> src_path = src_->ns().PathOf(inode.ino);
+    std::string rel = *src_path;
+    Result<std::string> base = src_->ns().PathOf(*root);
+    if (base.ok() && *base != "/") {
+      rel = rel.substr(base->size());
+    }
+    Result<InodeNo> dst_ino = dst_->ns().Resolve(JoinPath(config_.dest_dir, rel));
+    if (!dst_ino.ok()) {
+      match = false;
+      return false;
+    }
+    const Inode* dst_inode = dst_->ns().Get(*dst_ino);
+    if (dst_inode->size != inode.size) {
+      match = false;
+      return false;
+    }
+    for (PageIdx p = 0; p < inode.PageCount(); ++p) {
+      Result<uint64_t> src_content = src_->PageContent(inode.ino, p);
+      Result<uint64_t> dst_content = dst_->PageContent(*dst_ino, p);
+      if (!src_content.ok() || !dst_content.ok() || *src_content != *dst_content) {
+        match = false;
+        return false;
+      }
+    }
+    return true;
+  });
+  return match;
+}
+
+}  // namespace duet

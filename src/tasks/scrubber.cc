@@ -1,0 +1,174 @@
+#include "src/tasks/scrubber.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/duet/duet_library.h"
+
+namespace duet {
+
+Scrubber::Scrubber(CowFs* fs, DuetCore* duet, ScrubberConfig config)
+    : fs_(fs), duet_(duet), config_(config) {
+  assert(fs_ != nullptr);
+  assert(!config_.use_duet || duet_ != nullptr);
+}
+
+Scrubber::~Scrubber() { Stop(); }
+
+void Scrubber::Start(std::function<void()> on_finish) {
+  assert(!running_);
+  on_finish_ = std::move(on_finish);
+  running_ = true;
+  stats_ = TaskStats{};
+  stats_.started_at = fs_->loop().now();
+  stats_.work_total = fs_->allocated_blocks();
+  cursor_ = 0;
+  accounting_final_ = false;
+  if (config_.use_duet) {
+    Result<SessionId> sid =
+        duet_->RegisterBlockTask(kDuetPageAdded | kDuetPageDirtied);
+    assert(sid.ok());
+    sid_ = *sid;
+    poll_event_ =
+        fs_->loop().ScheduleAfter(config_.fetch_interval, [this] { PollTick(); });
+  }
+  ProcessNextChunk();
+}
+
+void Scrubber::Stop() {
+  running_ = false;
+  if (poll_event_ != kInvalidEvent) {
+    fs_->loop().Cancel(poll_event_);
+    poll_event_ = kInvalidEvent;
+  }
+  FinalizeAccounting();
+  if (sid_ != kInvalidSession) {
+    (void)duet_->Deregister(sid_);
+    sid_ = kInvalidSession;
+  }
+}
+
+void Scrubber::FinalizeAccounting() {
+  if (sid_ == kInvalidSession || accounting_final_) {
+    return;
+  }
+  accounting_final_ = true;
+  // Blocks marked done that the scan did not read were verified for free by
+  // other parties' reads — the I/O Duet saved. Done bits also measure how
+  // much scrubbing work is complete, whether or not the scan pass finished.
+  uint64_t done = duet_->DoneCount(sid_);
+  uint64_t by_io = stats_.io_read_pages;
+  stats_.saved_read_pages = done > by_io ? done - by_io : 0;
+  stats_.work_done = std::min(std::max(done, by_io), stats_.work_total);
+}
+
+void Scrubber::Finish() {
+  if (!running_) {
+    return;
+  }
+  stats_.finished = true;
+  stats_.finished_at = fs_->loop().now();
+  running_ = false;
+  if (poll_event_ != kInvalidEvent) {
+    fs_->loop().Cancel(poll_event_);
+    poll_event_ = kInvalidEvent;
+  }
+  if (config_.use_duet) {
+    FinalizeAccounting();
+  } else {
+    stats_.work_done = stats_.io_read_pages;
+  }
+  if (sid_ != kInvalidSession) {
+    (void)duet_->Deregister(sid_);
+    sid_ = kInvalidSession;
+  }
+  if (on_finish_) {
+    on_finish_();
+  }
+}
+
+void Scrubber::DrainDuetEvents() {
+  ++stats_.fetch_calls;
+  DrainEvents(*duet_, sid_, [this](const DuetItem& item) {
+    if (item.has(kDuetPageDirtied)) {
+      // Content changed: the (possibly relocated) block needs re-verifying.
+      (void)duet_->UnsetDone(sid_, item.id);
+      return;
+    }
+    if (item.has(kDuetPageAdded)) {
+      // The read path verified this block's checksum; mark it scrubbed.
+      if (!duet_->CheckDone(sid_, item.id)) {
+        (void)duet_->SetDone(sid_, item.id);
+      }
+    }
+  }, config_.fetch_batch);
+}
+
+void Scrubber::PollTick() {
+  poll_event_ = kInvalidEvent;
+  if (!running_) {
+    return;
+  }
+  DrainDuetEvents();
+  // The whole device may have been verified by other parties' reads even if
+  // the scan's own idle-priority I/O is starved.
+  if (duet_->DoneCount(sid_) >= stats_.work_total) {
+    Finish();
+    return;
+  }
+  poll_event_ =
+      fs_->loop().ScheduleAfter(config_.fetch_interval, [this] { PollTick(); });
+}
+
+void Scrubber::ProcessNextChunk() {
+  if (!running_) {
+    return;
+  }
+  if (config_.use_duet) {
+    DrainDuetEvents();
+  }
+  // Find the next block that still needs scrubbing. Blocks already marked
+  // done were verified by someone else's read; the scan skips them without
+  // I/O (accounted in FinalizeAccounting).
+  std::optional<BlockNo> next = fs_->NextAllocated(cursor_);
+  while (next.has_value() && config_.use_duet && duet_->CheckDone(sid_, *next)) {
+    next = fs_->NextAllocated(*next + 1);
+  }
+  if (!next.has_value()) {
+    Finish();
+    return;
+  }
+  // Scrub a chunk starting at `next`, stopping early at done blocks so we
+  // do not re-read data that was already verified.
+  BlockNo start = *next;
+  uint32_t count = 0;
+  BlockNo b = start;
+  while (count < config_.chunk_blocks && b < fs_->capacity_blocks()) {
+    if (config_.use_duet && duet_->CheckDone(sid_, b)) {
+      break;
+    }
+    ++count;
+    ++b;
+  }
+  fs_->ReadRawBlocks(start, count, config_.io_class, config_.populate_cache,
+                     [this, start, count](const RawReadResult& result) {
+                       if (!running_) {
+                         return;
+                       }
+                       checksum_errors_ += result.checksum_errors;
+                       stats_.io_read_pages += result.blocks_read;
+                       stats_.work_done += result.blocks_read;
+                       cursor_ = start + count;
+                       if (config_.use_duet) {
+                         // Mark verified blocks so events for them are muted.
+                         for (BlockNo v = start; v < start + count; ++v) {
+                           if (fs_->IsAllocated(v)) {
+                             (void)duet_->SetDone(sid_, v);
+                           }
+                         }
+                       }
+                       ProcessNextChunk();
+                     });
+}
+
+}  // namespace duet

@@ -1,0 +1,72 @@
+// File-system scrubber (paper §5.1), modeled on the Btrfs scrubber: reads
+// every allocated block sequentially and verifies it against its checksum.
+//
+// Opportunistic mode registers a Duet block task for Added ∨ Dirtied:
+//  * Added  — the page was just read through the file system, and cowfs
+//    verifies checksums on every read, so the block is marked scrubbed;
+//  * Dirtied — the block's content changed; its (new) block must be
+//    re-verified, so the done bit is cleared.
+// The sequential scan then skips blocks already marked done, which is where
+// the I/O savings come from.
+#ifndef SRC_TASKS_SCRUBBER_H_
+#define SRC_TASKS_SCRUBBER_H_
+
+#include <functional>
+
+#include "src/cowfs/cowfs.h"
+#include "src/duet/duet_core.h"
+#include "src/tasks/task_stats.h"
+
+namespace duet {
+
+struct ScrubberConfig {
+  bool use_duet = false;
+  uint32_t chunk_blocks = 256;            // blocks per scan request (1 MiB)
+  IoClass io_class = IoClass::kIdle;      // maintenance runs at idle priority
+  size_t fetch_batch = 256;
+  // Independent event-poll period (§6.4: tasks fetch many times a second).
+  // Keeps hints flowing even when the scan's idle-class I/O is starved.
+  SimDuration fetch_interval = Millis(20);
+  // Surface scrub reads to the page cache so concurrent tasks can use the
+  // same pass (§6.3: scrub and backup accesses benefit each other).
+  bool populate_cache = true;
+};
+
+class Scrubber {
+ public:
+  // `duet` may be null when use_duet is false.
+  Scrubber(CowFs* fs, DuetCore* duet, ScrubberConfig config);
+  ~Scrubber();
+
+  // Starts scrubbing; `on_finish` fires when the scan pass completes.
+  void Start(std::function<void()> on_finish = nullptr);
+  // Stops early (e.g. end of the experiment window).
+  void Stop();
+
+  const TaskStats& stats() const { return stats_; }
+  uint64_t checksum_errors() const { return checksum_errors_; }
+
+ private:
+  void ProcessNextChunk();
+  void DrainDuetEvents();
+  void PollTick();
+  void Finish();
+  // Derives saved/completed work from the done bitmap (Duet mode).
+  void FinalizeAccounting();
+
+  CowFs* fs_;
+  DuetCore* duet_;
+  ScrubberConfig config_;
+  SessionId sid_ = kInvalidSession;
+  BlockNo cursor_ = 0;
+  bool running_ = false;
+  bool accounting_final_ = false;
+  EventId poll_event_ = kInvalidEvent;
+  uint64_t checksum_errors_ = 0;
+  TaskStats stats_;
+  std::function<void()> on_finish_;
+};
+
+}  // namespace duet
+
+#endif  // SRC_TASKS_SCRUBBER_H_

@@ -1,0 +1,40 @@
+// Counters shared by all maintenance tasks, supporting the paper's metrics
+// (Table 4): I/O saved, work completed, and completion time.
+#ifndef SRC_TASKS_TASK_STATS_H_
+#define SRC_TASKS_TASK_STATS_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace duet {
+
+struct TaskStats {
+  uint64_t work_total = 0;      // units (pages/blocks) the task must process
+  uint64_t work_done = 0;       // units processed (normally or opportunistically)
+  uint64_t io_read_pages = 0;   // device read I/O the task performed
+  uint64_t io_write_pages = 0;  // device write I/O the task performed
+  uint64_t saved_read_pages = 0;   // reads avoided thanks to cached data
+  uint64_t saved_write_pages = 0;  // writes avoided (already-dirty pages)
+  uint64_t opportunistic_units = 0;  // units processed out of order
+  uint64_t fetch_calls = 0;
+  bool finished = false;
+  SimTime started_at = 0;
+  SimTime finished_at = 0;
+
+  double CompletionFraction() const {
+    if (work_total == 0) {
+      return 1.0;
+    }
+    double f = static_cast<double>(work_done) / static_cast<double>(work_total);
+    return f > 1.0 ? 1.0 : f;
+  }
+  uint64_t TotalIoPages() const { return io_read_pages + io_write_pages; }
+  SimDuration Runtime() const {
+    return finished ? finished_at - started_at : 0;
+  }
+};
+
+}  // namespace duet
+
+#endif  // SRC_TASKS_TASK_STATS_H_

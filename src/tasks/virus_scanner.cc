@@ -1,0 +1,174 @@
+#include "src/tasks/virus_scanner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace duet {
+
+VirusScanner::VirusScanner(FileSystem* fs, DuetCore* duet, VirusScannerConfig config)
+    : fs_(fs), duet_(duet), config_(config) {
+  assert(fs_ != nullptr);
+  assert(!config_.use_duet || duet_ != nullptr);
+}
+
+VirusScanner::~VirusScanner() { Stop(); }
+
+void VirusScanner::Start(std::function<void()> on_finish) {
+  assert(!running_);
+  on_finish_ = std::move(on_finish);
+  running_ = true;
+  stats_ = TaskStats{};
+  stats_.started_at = fs_->loop().now();
+  files_scanned_ = 0;
+  infected_.clear();
+
+  Result<InodeNo> root = fs_->ns().Resolve(config_.root);
+  assert(root.ok());
+  fs_->ns().WalkDepthFirst(*root, [&](const Inode& inode) {
+    if (!inode.is_dir()) {
+      worklist_.push_back(inode.ino);
+      stats_.work_total += inode.PageCount();  // scans are read-only
+    }
+    return true;
+  });
+  cursor_ = 0;
+
+  if (config_.use_duet) {
+    queue_ = std::make_unique<InodePriorityQueue>(
+        [](InodeNo, uint64_t pages) { return static_cast<double>(pages); });
+    Result<SessionId> sid = duet_->RegisterFileTask(config_.root, kDuetPageExists);
+    assert(sid.ok());
+    sid_ = *sid;
+    poll_event_ =
+        fs_->loop().ScheduleAfter(config_.fetch_interval, [this] { PollTick(); });
+  }
+  ProcessNext();
+}
+
+void VirusScanner::Stop() {
+  running_ = false;
+  if (poll_event_ != kInvalidEvent) {
+    fs_->loop().Cancel(poll_event_);
+    poll_event_ = kInvalidEvent;
+  }
+  if (sid_ != kInvalidSession) {
+    (void)duet_->Deregister(sid_);
+    sid_ = kInvalidSession;
+  }
+}
+
+void VirusScanner::DrainDuetEvents() {
+  ++stats_.fetch_calls;
+  DrainEvents(*duet_, sid_, *queue_, config_.fetch_batch);
+}
+
+void VirusScanner::PollTick() {
+  poll_event_ = kInvalidEvent;
+  if (!running_) {
+    return;
+  }
+  DrainDuetEvents();
+  poll_event_ =
+      fs_->loop().ScheduleAfter(config_.fetch_interval, [this] { PollTick(); });
+}
+
+void VirusScanner::FinishRun() {
+  stats_.finished = true;
+  stats_.finished_at = fs_->loop().now();
+  running_ = false;
+  if (poll_event_ != kInvalidEvent) {
+    fs_->loop().Cancel(poll_event_);
+    poll_event_ = kInvalidEvent;
+  }
+  if (sid_ != kInvalidSession) {
+    (void)duet_->Deregister(sid_);
+    sid_ = kInvalidSession;
+  }
+  if (on_finish_) {
+    on_finish_();
+  }
+}
+
+void VirusScanner::ProcessNext() {
+  if (!running_) {
+    return;
+  }
+  if (config_.use_duet) {
+    DrainDuetEvents();
+    while (std::optional<InodeNo> hot = queue_->Dequeue()) {
+      if (duet_->CheckDone(sid_, *hot)) {
+        continue;  // already scanned
+      }
+      if (!duet_->GetPath(sid_, *hot).ok()) {
+        continue;  // hint went stale
+      }
+      ScanFile(*hot, /*opportunistic=*/true);
+      return;
+    }
+  }
+  while (cursor_ < worklist_.size()) {
+    InodeNo ino = worklist_[cursor_++];
+    if (config_.use_duet && duet_->CheckDone(sid_, ino)) {
+      continue;
+    }
+    if (!fs_->ns().Exists(ino)) {
+      continue;  // deleted since the walk
+    }
+    ScanFile(ino, /*opportunistic=*/false);
+    return;
+  }
+  FinishRun();
+}
+
+void VirusScanner::ScanFile(InodeNo ino, bool opportunistic) {
+  if (config_.use_duet) {
+    (void)duet_->SetDone(sid_, ino);
+    queue_->Erase(ino);
+  }
+  const Inode* inode = fs_->ns().Get(ino);
+  if (inode == nullptr) {
+    fs_->loop().ScheduleAfter(0, [this] { ProcessNext(); });
+    return;
+  }
+  if (opportunistic) {
+    stats_.opportunistic_units += inode->PageCount();
+  }
+  ScanChunk(ino, 0, inode->size, opportunistic);
+}
+
+void VirusScanner::ScanChunk(InodeNo ino, PageIdx next_page, uint64_t size,
+                             bool opportunistic) {
+  if (!running_) {
+    return;
+  }
+  uint64_t total_pages = PagesForBytes(size);
+  if (next_page >= total_pages) {
+    ++files_scanned_;
+    fs_->loop().ScheduleAfter(0, [this] { ProcessNext(); });
+    return;
+  }
+  uint64_t count = std::min<uint64_t>(config_.chunk_pages, total_pages - next_page);
+  ByteOff off = next_page * kPageSize;
+  uint64_t len = std::min<uint64_t>(count * kPageSize, size - off);
+  fs_->Read(ino, off, len, config_.io_class,
+            [this, ino, next_page, count, size, opportunistic](const FsIoResult& read) {
+              if (!running_) {
+                return;
+              }
+              stats_.io_read_pages += read.pages_from_disk;
+              stats_.saved_read_pages += read.pages_from_cache;
+              stats_.work_done += read.pages_requested;
+              // Match each page's content against the signature set.
+              for (PageIdx q = next_page; q < next_page + count; ++q) {
+                Result<uint64_t> content = fs_->PageContent(ino, q);
+                if (content.ok() && signatures_.count(*content) > 0) {
+                  if (infected_.empty() || infected_.back() != ino) {
+                    infected_.push_back(ino);
+                  }
+                }
+              }
+              ScanChunk(ino, next_page + count, size, opportunistic);
+            });
+}
+
+}  // namespace duet

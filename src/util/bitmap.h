@@ -1,0 +1,52 @@
+// Dense fixed-size bitmap with word-at-a-time scan helpers.
+#ifndef SRC_UTIL_BITMAP_H_
+#define SRC_UTIL_BITMAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace duet {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(uint64_t num_bits);
+
+  void Resize(uint64_t num_bits);
+
+  uint64_t size() const { return num_bits_; }
+
+  void Set(uint64_t bit);
+  void Clear(uint64_t bit);
+  bool Test(uint64_t bit) const;
+
+  // Sets or clears [begin, end).
+  void SetRange(uint64_t begin, uint64_t end);
+  void ClearRange(uint64_t begin, uint64_t end);
+
+  // Number of set bits in the whole bitmap.
+  uint64_t Count() const;
+  // Number of set bits in [begin, end).
+  uint64_t CountRange(uint64_t begin, uint64_t end) const;
+
+  // First set (or clear) bit at or after `from`, or nullopt.
+  std::optional<uint64_t> FindNextSet(uint64_t from) const;
+  std::optional<uint64_t> FindNextClear(uint64_t from) const;
+
+  bool AllClear() const;
+  bool AllSet() const;
+
+  void Reset();  // clears every bit
+
+  // Approximate heap usage in bytes (for the memory-overhead experiments).
+  uint64_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  uint64_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace duet
+
+#endif  // SRC_UTIL_BITMAP_H_

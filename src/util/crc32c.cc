@@ -1,0 +1,35 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+
+namespace duet {
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78;  // reflected CRC32C polynomial
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace duet

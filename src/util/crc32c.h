@@ -1,0 +1,18 @@
+// Software CRC32C (Castagnoli), the checksum Btrfs uses for data blocks.
+// The cowfs scrubber verifies these checksums on every read, as the paper's
+// Btrfs scrubber does.
+#ifndef SRC_UTIL_CRC32C_H_
+#define SRC_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace duet {
+
+// Computes the CRC32C of `data[0..len)` starting from `seed` (pass 0 for a
+// fresh checksum). Extending a checksum: pass the previous result as seed.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace duet
+
+#endif  // SRC_UTIL_CRC32C_H_

@@ -1,0 +1,42 @@
+// printf-style string formatting (GCC 12 lacks std::format).
+#ifndef SRC_UTIL_FORMAT_H_
+#define SRC_UTIL_FORMAT_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace duet {
+
+#if defined(__GNUC__)
+#define DUET_PRINTF_LIKE(fmt_idx, args_idx) \
+  __attribute__((format(printf, fmt_idx, args_idx)))
+#else
+#define DUET_PRINTF_LIKE(fmt_idx, args_idx)
+#endif
+
+inline std::string StrFormatV(const char* fmt, va_list args) {
+  va_list copy;
+  va_copy(copy, args);
+  int needed = vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (needed <= 0) {
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+DUET_PRINTF_LIKE(1, 2)
+inline std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::string out = StrFormatV(fmt, args);
+  va_end(args);
+  return out;
+}
+
+}  // namespace duet
+
+#endif  // SRC_UTIL_FORMAT_H_

@@ -1,0 +1,39 @@
+// Minimal leveled logging to stderr. The simulation is single-threaded, so
+// no synchronization is needed. Default level is kWarning to keep bench
+// output clean; tests and examples may lower it.
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <cstdio>
+
+#include "src/util/format.h"
+
+namespace duet {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+LogLevel& GlobalLogLevel();
+
+inline void SetLogLevel(LogLevel level) { GlobalLogLevel() = level; }
+
+DUET_PRINTF_LIKE(2, 3)
+inline void LogAt(LogLevel level, const char* fmt, ...) {
+  if (level < GlobalLogLevel()) {
+    return;
+  }
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  va_list args;
+  va_start(args, fmt);
+  std::string msg = StrFormatV(fmt, args);
+  va_end(args);
+  fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)], msg.c_str());
+}
+
+#define DUET_LOG_DEBUG(...) ::duet::LogAt(::duet::LogLevel::kDebug, __VA_ARGS__)
+#define DUET_LOG_INFO(...) ::duet::LogAt(::duet::LogLevel::kInfo, __VA_ARGS__)
+#define DUET_LOG_WARN(...) ::duet::LogAt(::duet::LogLevel::kWarning, __VA_ARGS__)
+#define DUET_LOG_ERROR(...) ::duet::LogAt(::duet::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace duet
+
+#endif  // SRC_UTIL_LOGGING_H_

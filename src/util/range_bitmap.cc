@@ -1,0 +1,134 @@
+#include "src/util/range_bitmap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace duet {
+
+void RangeBitmap::Resize(uint64_t num_bits) {
+  num_bits_ = num_bits;
+  // Drop chunks that now lie entirely beyond the end.
+  for (auto it = chunks_.begin(); it != chunks_.end();) {
+    if (it->first * kChunkBits >= num_bits) {
+      set_count_ -= it->second.Count();
+      it = chunks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Bitmap& RangeBitmap::ChunkFor(uint64_t bit) {
+  uint64_t idx = bit / kChunkBits;
+  auto it = chunks_.find(idx);
+  if (it == chunks_.end()) {
+    it = chunks_.emplace(idx, Bitmap(kChunkBits)).first;
+  }
+  return it->second;
+}
+
+void RangeBitmap::MaybeFree(uint64_t chunk_idx) {
+  auto it = chunks_.find(chunk_idx);
+  if (it != chunks_.end() && it->second.AllClear()) {
+    chunks_.erase(it);
+  }
+}
+
+void RangeBitmap::Set(uint64_t bit) {
+  assert(bit < num_bits_);
+  Bitmap& chunk = ChunkFor(bit);
+  uint64_t off = bit % kChunkBits;
+  if (!chunk.Test(off)) {
+    chunk.Set(off);
+    ++set_count_;
+  }
+}
+
+void RangeBitmap::Clear(uint64_t bit) {
+  assert(bit < num_bits_);
+  auto it = chunks_.find(bit / kChunkBits);
+  if (it == chunks_.end()) {
+    return;
+  }
+  uint64_t off = bit % kChunkBits;
+  if (it->second.Test(off)) {
+    it->second.Clear(off);
+    --set_count_;
+    MaybeFree(bit / kChunkBits);
+  }
+}
+
+bool RangeBitmap::Test(uint64_t bit) const {
+  assert(bit < num_bits_);
+  auto it = chunks_.find(bit / kChunkBits);
+  return it != chunks_.end() && it->second.Test(bit % kChunkBits);
+}
+
+void RangeBitmap::SetRange(uint64_t begin, uint64_t end) {
+  assert(begin <= end && end <= num_bits_);
+  while (begin < end) {
+    uint64_t chunk_idx = begin / kChunkBits;
+    uint64_t chunk_end = std::min(end, (chunk_idx + 1) * kChunkBits);
+    Bitmap& chunk = ChunkFor(begin);
+    uint64_t lo = begin % kChunkBits;
+    uint64_t hi = chunk_end - chunk_idx * kChunkBits;
+    uint64_t before = chunk.CountRange(lo, hi);
+    chunk.SetRange(lo, hi);
+    set_count_ += (hi - lo) - before;
+    begin = chunk_end;
+  }
+}
+
+void RangeBitmap::ClearRange(uint64_t begin, uint64_t end) {
+  assert(begin <= end && end <= num_bits_);
+  while (begin < end) {
+    uint64_t chunk_idx = begin / kChunkBits;
+    uint64_t chunk_end = std::min(end, (chunk_idx + 1) * kChunkBits);
+    auto it = chunks_.find(chunk_idx);
+    if (it != chunks_.end()) {
+      uint64_t lo = begin % kChunkBits;
+      uint64_t hi = chunk_end - chunk_idx * kChunkBits;
+      uint64_t before = it->second.CountRange(lo, hi);
+      it->second.ClearRange(lo, hi);
+      set_count_ -= before;
+      MaybeFree(chunk_idx);
+    }
+    begin = chunk_end;
+  }
+}
+
+std::optional<uint64_t> RangeBitmap::FindNextSet(uint64_t from) const {
+  if (from >= num_bits_) {
+    return std::nullopt;
+  }
+  for (auto it = chunks_.lower_bound(from / kChunkBits); it != chunks_.end(); ++it) {
+    uint64_t base = it->first * kChunkBits;
+    uint64_t start = (from > base) ? from - base : 0;
+    if (auto bit = it->second.FindNextSet(start)) {
+      uint64_t abs = base + *bit;
+      if (abs < num_bits_) {
+        return abs;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void RangeBitmap::Reset() {
+  chunks_.clear();
+  set_count_ = 0;
+}
+
+uint64_t RangeBitmap::MemoryBytes() const {
+  // Chunk payload plus an estimate of the tree-node overhead (3 pointers,
+  // color, key — round to 48 bytes, typical for std::map nodes on LP64).
+  uint64_t bytes = 0;
+  for (const auto& [idx, chunk] : chunks_) {
+    (void)idx;
+    bytes += chunk.MemoryBytes() + 48;
+  }
+  return bytes;
+}
+
+}  // namespace duet

@@ -1,0 +1,65 @@
+// Sparse bitmap backed by a red-black tree of fixed-size chunks.
+//
+// This mirrors the Duet paper (§4.2): "We use a red-black tree to dynamically
+// allocate portions of the relevant and done bitmaps, to represent ranges
+// that have marked bits, and deallocate them when all their bits are
+// unmarked". Memory usage is reported so the §6.4 memory-overhead experiment
+// can be reproduced.
+#ifndef SRC_UTIL_RANGE_BITMAP_H_
+#define SRC_UTIL_RANGE_BITMAP_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/util/bitmap.h"
+
+namespace duet {
+
+class RangeBitmap {
+ public:
+  // Bits covered per allocated chunk. 32768 bits = 4 KiB of payload per
+  // chunk, matching the granularity a kernel implementation would allocate.
+  static constexpr uint64_t kChunkBits = 32768;
+
+  RangeBitmap() = default;
+  // `num_bits` is the logical size of the bitmap (e.g. blocks on the device
+  // or inodes in the file system). All bits start unset.
+  explicit RangeBitmap(uint64_t num_bits) : num_bits_(num_bits) {}
+
+  uint64_t size() const { return num_bits_; }
+  void Resize(uint64_t num_bits);
+
+  void Set(uint64_t bit);
+  void Clear(uint64_t bit);
+  bool Test(uint64_t bit) const;
+
+  void SetRange(uint64_t begin, uint64_t end);
+  void ClearRange(uint64_t begin, uint64_t end);
+
+  uint64_t Count() const { return set_count_; }
+
+  // First set bit at or after `from`, or nullopt. Skips unallocated chunks.
+  std::optional<uint64_t> FindNextSet(uint64_t from) const;
+
+  // Drops every chunk; all bits become unset.
+  void Reset();
+
+  // Number of currently allocated chunks and their total heap footprint.
+  uint64_t chunk_count() const { return chunks_.size(); }
+  uint64_t MemoryBytes() const;
+
+ private:
+  uint64_t num_bits_ = 0;
+  uint64_t set_count_ = 0;
+  // Keyed by chunk index (bit / kChunkBits). std::map is a red-black tree in
+  // every mainstream implementation, matching the paper's structure.
+  std::map<uint64_t, Bitmap> chunks_;
+
+  Bitmap& ChunkFor(uint64_t bit);
+  void MaybeFree(uint64_t chunk_idx);
+};
+
+}  // namespace duet
+
+#endif  // SRC_UTIL_RANGE_BITMAP_H_

@@ -1,0 +1,73 @@
+#include "src/util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace duet {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(x);
+  }
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+uint64_t Rng::UniformRange(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+bool Rng::Chance(double probability) { return NextDouble() < probability; }
+
+}  // namespace duet

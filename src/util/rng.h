@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation for the simulation.
+//
+// Every stochastic component (workload pickers, file sizes, data payloads)
+// draws from an explicitly seeded Rng so experiments are reproducible.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace duet {
+
+// xoshiro256** 1.0 — small, fast, high-quality; state is seeded via
+// splitmix64 so any 64-bit seed works well.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Exponentially distributed with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Bernoulli trial.
+  bool Chance(double probability);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace duet
+
+#endif  // SRC_UTIL_RNG_H_

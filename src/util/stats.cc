@@ -1,0 +1,69 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace duet {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ConfidenceInterval95() const {
+  if (count_ < 2) {
+    return 0;
+  }
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+Histogram::Histogram(double lo, double hi, uint64_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<int64_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<uint64_t>(idx)];
+  ++total_;
+}
+
+double Histogram::Percentile(double p) const {
+  assert(p >= 0 && p <= 100);
+  if (total_ == 0) {
+    return lo_;
+  }
+  auto target = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(total_)));
+  target = std::max<uint64_t>(target, 1);
+  uint64_t seen = 0;
+  double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (uint64_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return lo_ + width * static_cast<double>(i + 1);
+    }
+  }
+  return hi_;
+}
+
+}  // namespace duet

@@ -1,0 +1,57 @@
+// Small statistics helpers for experiment reporting: running mean/variance,
+// 95% confidence intervals (paper reports these for latency and cleaning
+// time), and a simple fixed-bucket histogram.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace duet {
+
+// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance (n-1); 0 if count < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  // Half-width of the 95% confidence interval of the mean, using the normal
+  // approximation (z = 1.96). Returns 0 for fewer than 2 samples.
+  double ConfidenceInterval95() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Histogram over [lo, hi) with uniform bucket width; out-of-range samples
+// clamp into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, uint64_t buckets);
+
+  void Add(double x);
+
+  uint64_t TotalCount() const { return total_; }
+  double Percentile(double p) const;  // p in [0, 100]
+  const std::vector<uint64_t>& buckets() const { return counts_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace duet
+
+#endif  // SRC_UTIL_STATS_H_

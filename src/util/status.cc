@@ -1,0 +1,31 @@
+#include "src/util/status.h"
+
+namespace duet {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kExists:
+      return "EXISTS";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNoSpace:
+      return "NO_SPACE";
+    case StatusCode::kBusy:
+      return "BUSY";
+    case StatusCode::kLimit:
+      return "LIMIT";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kPermission:
+      return "PERMISSION";
+    case StatusCode::kNotSupported:
+      return "NOT_SUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace duet

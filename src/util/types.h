@@ -1,0 +1,36 @@
+// Fundamental type aliases shared across the Duet simulation stack.
+#ifndef SRC_UTIL_TYPES_H_
+#define SRC_UTIL_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace duet {
+
+// Logical block number on a block device. Blocks and pages share one size.
+using BlockNo = uint64_t;
+
+// Inode number within a file system. 0 is reserved as "invalid".
+using InodeNo = uint64_t;
+
+// Byte offset within a file or device.
+using ByteOff = uint64_t;
+
+// Page index within a file (byte offset / kPageSize).
+using PageIdx = uint64_t;
+
+// Size of a page, and of a file-system/device block. The paper's Duet
+// operates at the Linux page granularity; we fix both to 4 KiB.
+inline constexpr uint64_t kPageSize = 4096;
+
+inline constexpr InodeNo kInvalidInode = 0;
+inline constexpr BlockNo kInvalidBlock = ~0ULL;
+
+// Converts a byte count to the number of pages that cover it.
+constexpr uint64_t PagesForBytes(uint64_t bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+}  // namespace duet
+
+#endif  // SRC_UTIL_TYPES_H_

@@ -1,0 +1,38 @@
+#include "src/util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace duet {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (uint64_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return n_ - 1;
+  }
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::CumulativeProbability(uint64_t k) const {
+  if (k == 0) {
+    return 0;
+  }
+  return cdf_[std::min(k, n_) - 1];
+}
+
+}  // namespace duet

@@ -1,0 +1,37 @@
+// Zipf-like sampler used to model the skewed Microsoft Production Build
+// Server file-access distributions (paper Fig. 1). The paper shows that a
+// small fraction of files absorbs the vast majority of accesses on the MS
+// trace devices; a Zipf(s) law over file ranks reproduces that shape.
+#ifndef SRC_UTIL_ZIPF_H_
+#define SRC_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace duet {
+
+class ZipfSampler {
+ public:
+  // Samples ranks in [0, n) with P(rank k) proportional to 1/(k+1)^s.
+  // s = 0 degenerates to uniform; the MS traces are matched by s ≈ 1.1.
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  // Cumulative probability of the top `k` ranks; used to regenerate Fig. 1.
+  double CumulativeProbability(uint64_t k) const;
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace duet
+
+#endif  // SRC_UTIL_ZIPF_H_

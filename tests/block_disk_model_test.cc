@@ -1,0 +1,81 @@
+#include "src/block/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace duet {
+namespace {
+
+TEST(HddModelTest, SequentialHasNoPositioningCost) {
+  HddModel hdd;
+  SimDuration seq = hdd.ServiceTime(100, 16, IoDir::kRead, 100);
+  SimDuration rand = hdd.ServiceTime(1'000'000, 16, IoDir::kRead, 100);
+  EXPECT_LT(seq, rand);
+  // Sequential 64 KiB at 150 MB/s is ~0.44 ms.
+  EXPECT_NEAR(ToMillis(seq), 0.44, 0.05);
+}
+
+TEST(HddModelTest, RandomReadMatchesPaperCalibration) {
+  // The paper reports ~21 MB/s for 64 KiB random reads on both devices.
+  HddModel hdd;
+  double total_ms = 0;
+  BlockNo head = 0;
+  // Average over a spread of seek distances.
+  for (BlockNo target = 500'000; target < 12'000'000; target += 1'000'000) {
+    total_ms += ToMillis(hdd.ServiceTime(target, 16, IoDir::kRead, head));
+    head = target + 16;
+  }
+  double avg_ms = total_ms / 12.0;
+  double mbps = 64.0 / 1024.0 / (avg_ms / 1000.0);
+  EXPECT_GT(mbps, 12.0);
+  EXPECT_LT(mbps, 30.0);
+}
+
+TEST(HddModelTest, SeekCostGrowsWithDistance) {
+  HddModel hdd;
+  SimDuration near = hdd.ServiceTime(1000, 1, IoDir::kRead, 0);
+  SimDuration far = hdd.ServiceTime(12'000'000, 1, IoDir::kRead, 0);
+  EXPECT_LT(near, far);
+}
+
+TEST(HddModelTest, LargerTransfersTakeLonger) {
+  HddModel hdd;
+  EXPECT_LT(hdd.ServiceTime(0, 1, IoDir::kRead, 0),
+            hdd.ServiceTime(0, 256, IoDir::kRead, 0));
+}
+
+TEST(SsdModelTest, SequentialMuchFasterThanHddRandom) {
+  SsdModel ssd;
+  HddModel hdd;
+  // 1 MiB sequential read.
+  SimDuration ssd_seq = ssd.ServiceTime(100, 256, IoDir::kRead, 100);
+  SimDuration hdd_rand = hdd.ServiceTime(6'000'000, 256, IoDir::kRead, 0);
+  EXPECT_LT(ssd_seq, hdd_rand);
+  // ~265 MB/s → 1 MiB in ~3.96 ms.
+  EXPECT_NEAR(ToMillis(ssd_seq), 3.96, 0.3);
+}
+
+TEST(SsdModelTest, RandomReadPenaltyIsDistanceIndependent) {
+  SsdModel ssd;
+  SimDuration near = ssd.ServiceTime(200, 16, IoDir::kRead, 100);
+  SimDuration far = ssd.ServiceTime(10'000'000, 16, IoDir::kRead, 100);
+  EXPECT_EQ(near, far);
+}
+
+TEST(SsdModelTest, RandomReadRoughlySimilarToHdd) {
+  // §6.5: "the random read performance of our Intel 510 SSD and our
+  // enterprise 10K hard drive is roughly similar, about 21 MB/s" (64 KiB).
+  SsdModel ssd;
+  SimDuration t = ssd.ServiceTime(5'000'000, 16, IoDir::kRead, 0);
+  double mbps = 64.0 / 1024.0 / ToSeconds(t);
+  EXPECT_GT(mbps, 15.0);
+  EXPECT_LT(mbps, 30.0);
+}
+
+TEST(SsdModelTest, WritesCheaperPenaltyThanReads) {
+  SsdModel ssd;
+  EXPECT_LT(ssd.ServiceTime(5'000'000, 16, IoDir::kWrite, 0),
+            ssd.ServiceTime(5'000'000, 16, IoDir::kRead, 0));
+}
+
+}  // namespace
+}  // namespace duet

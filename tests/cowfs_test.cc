@@ -1,0 +1,248 @@
+#include "src/cowfs/cowfs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "tests/sim_fixture.h"
+
+namespace duet {
+namespace {
+
+class CowFsTest : public ::testing::Test {
+ protected:
+  CowFsTest() : rig_(100'000), fs_(&rig_.loop, &rig_.device, /*cache_pages=*/128) {}
+
+  InodeNo MakeFile(const char* path, uint64_t pages) {
+    return *fs_.PopulateFile(path, pages * kPageSize);
+  }
+
+  void WriteSync(InodeNo ino, ByteOff off, uint64_t len) {
+    fs_.Write(ino, off, len, IoClass::kBestEffort, nullptr);
+    rig_.loop.RunUntil(rig_.loop.now() + Millis(500));
+  }
+
+  void SyncAll() {
+    fs_.writeback().Sync(nullptr);
+    rig_.loop.Run();
+  }
+
+  SimRig rig_;
+  CowFs fs_;
+};
+
+TEST_F(CowFsTest, ChecksumsValidAfterPopulate) {
+  InodeNo ino = MakeFile("/f", 16);
+  for (PageIdx p = 0; p < 16; ++p) {
+    EXPECT_TRUE(fs_.BlockChecksumOk(*fs_.Bmap(ino, p)));
+  }
+}
+
+TEST_F(CowFsTest, CorruptionDetectedOnRead) {
+  InodeNo ino = MakeFile("/f", 4);
+  BlockNo victim = *fs_.Bmap(ino, 2);
+  fs_.CorruptBlock(victim);
+  EXPECT_FALSE(fs_.BlockChecksumOk(victim));
+  Status status;
+  fs_.Read(ino, 0, 4 * kPageSize, IoClass::kBestEffort,
+           [&](const FsIoResult& r) { status = r.status; });
+  rig_.loop.Run();
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(fs_.checksum_errors_detected(), 1u);
+}
+
+TEST_F(CowFsTest, CorruptionDetectedByRawRead) {
+  InodeNo ino = MakeFile("/f", 8);
+  fs_.CorruptBlock(*fs_.Bmap(ino, 5));
+  RawReadResult result;
+  bool done = false;
+  fs_.ReadRawBlocks(0, 1000, IoClass::kIdle, false, [&](const RawReadResult& r) {
+    result = r;
+    done = true;
+  });
+  rig_.loop.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.blocks_read, 8u);
+  EXPECT_EQ(result.checksum_errors, 1u);
+  EXPECT_EQ(result.status.code(), StatusCode::kCorruption);
+}
+
+TEST_F(CowFsTest, RawReadSkipsUnallocatedBlocks) {
+  MakeFile("/f", 4);
+  bool done = false;
+  RawReadResult result;
+  // Range far beyond any allocation.
+  fs_.ReadRawBlocks(50'000, 1000, IoClass::kIdle, false, [&](const RawReadResult& r) {
+    result = r;
+    done = true;
+  });
+  rig_.loop.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.blocks_read, 0u);
+  EXPECT_EQ(result.device_ops, 0u);
+}
+
+TEST_F(CowFsTest, CowWriteRelocatesBlock) {
+  InodeNo ino = MakeFile("/f", 2);
+  BlockNo before = *fs_.Bmap(ino, 0);
+  WriteSync(ino, 0, kPageSize);
+  BlockNo after = *fs_.Bmap(ino, 0);
+  EXPECT_NE(before, after);
+  EXPECT_FALSE(fs_.IsAllocated(before));  // old copy freed (no snapshot)
+}
+
+TEST_F(CowFsTest, RewriteOfUnflushedPageReusesBlock) {
+  InodeNo ino = MakeFile("/f", 1);
+  WriteSync(ino, 0, kPageSize);
+  BlockNo first_cow = *fs_.Bmap(ino, 0);
+  WriteSync(ino, 0, kPageSize);  // still dirty, not snapshot-shared
+  EXPECT_EQ(*fs_.Bmap(ino, 0), first_cow);
+}
+
+TEST_F(CowFsTest, SnapshotPreservesOldBlocks) {
+  InodeNo ino = MakeFile("/f", 4);
+  BlockNo old_block = *fs_.Bmap(ino, 1);
+  uint64_t old_token = fs_.DiskToken(old_block);
+  Result<SnapshotId> snap = fs_.CreateSnapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_TRUE(fs_.SharedWithSnapshot(*snap, ino, 1));
+
+  WriteSync(ino, kPageSize, kPageSize);  // overwrite page 1
+  SyncAll();
+
+  // Sharing broken; snapshot still references the preserved old block.
+  EXPECT_FALSE(fs_.SharedWithSnapshot(*snap, ino, 1));
+  EXPECT_TRUE(fs_.IsAllocated(old_block));
+  EXPECT_EQ(fs_.DiskToken(old_block), old_token);
+  EXPECT_NE(*fs_.Bmap(ino, 1), old_block);
+  const CowFs::Snapshot* s = fs_.GetSnapshot(*snap);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->files.at(ino).blocks[1], old_block);
+}
+
+TEST_F(CowFsTest, DeleteSnapshotFreesPreservedBlocks) {
+  InodeNo ino = MakeFile("/f", 2);
+  BlockNo old_block = *fs_.Bmap(ino, 0);
+  SnapshotId snap = *fs_.CreateSnapshot();
+  WriteSync(ino, 0, kPageSize);
+  EXPECT_TRUE(fs_.IsAllocated(old_block));  // kept alive by the snapshot
+  ASSERT_TRUE(fs_.DeleteSnapshot(snap).ok());
+  EXPECT_FALSE(fs_.IsAllocated(old_block));
+  EXPECT_FALSE(fs_.DeleteSnapshot(snap).ok());  // double delete
+}
+
+TEST_F(CowFsTest, DeletedFileBlocksSurviveViaSnapshot) {
+  InodeNo ino = MakeFile("/f", 3);
+  BlockNo b0 = *fs_.Bmap(ino, 0);
+  SnapshotId snap = *fs_.CreateSnapshot();
+  ASSERT_TRUE(fs_.DeleteFile(ino).ok());
+  EXPECT_TRUE(fs_.IsAllocated(b0));
+  const CowFs::Snapshot* s = fs_.GetSnapshot(snap);
+  EXPECT_EQ(s->files.at(ino).blocks.size(), 3u);
+  ASSERT_TRUE(fs_.DeleteSnapshot(snap).ok());
+  EXPECT_FALSE(fs_.IsAllocated(b0));
+}
+
+TEST_F(CowFsTest, SnapshotAsyncSyncsFirst) {
+  InodeNo ino = MakeFile("/f", 2);
+  WriteSync(ino, 0, 2 * kPageSize);
+  ASSERT_GT(fs_.cache().DirtyCount(), 0u);
+  bool done = false;
+  fs_.CreateSnapshotAsync([&](Result<SnapshotId> snap) {
+    EXPECT_TRUE(snap.ok());
+    done = true;
+  });
+  rig_.loop.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fs_.cache().DirtyCount(), 0u);
+}
+
+TEST_F(CowFsTest, ExtentCountOnContiguousAndFragmentedFiles) {
+  InodeNo contiguous = MakeFile("/c", 32);
+  EXPECT_EQ(fs_.ExtentCount(contiguous), 1u);
+  Rng rng(5);
+  Result<InodeNo> frag = fs_.PopulateFragmentedFile("/frag", 32 * kPageSize, 0.5, rng);
+  ASSERT_TRUE(frag.ok());
+  EXPECT_GT(fs_.ExtentCount(*frag), 8u);
+}
+
+TEST_F(CowFsTest, DefragProducesContiguousFile) {
+  Rng rng(7);
+  InodeNo ino = *fs_.PopulateFragmentedFile("/frag", 64 * kPageSize, 0.5, rng);
+  uint64_t before = fs_.ExtentCount(ino);
+  ASSERT_GT(before, 4u);
+  std::vector<uint64_t> tokens;
+  for (PageIdx p = 0; p < 64; ++p) {
+    tokens.push_back(*fs_.PageContent(ino, p));
+  }
+  DefragResult result;
+  bool done = false;
+  fs_.DefragFile(ino, IoClass::kIdle, [&](const DefragResult& r) {
+    result = r;
+    done = true;
+  });
+  rig_.loop.Run();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.extents_before, before);
+  EXPECT_LT(result.extents_after, before);
+  EXPECT_LE(result.extents_after, 2u);
+  EXPECT_EQ(result.pages, 64u);
+  EXPECT_EQ(result.pages_written, 64u);
+  // Content is preserved.
+  for (PageIdx p = 0; p < 64; ++p) {
+    EXPECT_EQ(*fs_.PageContent(ino, p), tokens[p]) << "page " << p;
+  }
+  // Old blocks freed, new ones checksummed.
+  for (PageIdx p = 0; p < 64; ++p) {
+    EXPECT_TRUE(fs_.BlockChecksumOk(*fs_.Bmap(ino, p)));
+  }
+}
+
+TEST_F(CowFsTest, DefragSavesCachedReads) {
+  Rng rng(9);
+  InodeNo ino = *fs_.PopulateFragmentedFile("/frag", 32 * kPageSize, 0.4, rng);
+  // Warm half the file into the cache.
+  fs_.Read(ino, 0, 16 * kPageSize, IoClass::kBestEffort, nullptr);
+  rig_.loop.Run();
+  DefragResult result;
+  fs_.DefragFile(ino, IoClass::kIdle, [&](const DefragResult& r) { result = r; });
+  rig_.loop.Run();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.pages_from_cache, 16u);
+  EXPECT_EQ(result.pages_read_disk, 16u);
+}
+
+TEST_F(CowFsTest, DefragCountsDirtyPagesAsSavedWrites) {
+  InodeNo ino = MakeFile("/f", 8);
+  WriteSync(ino, 0, 4 * kPageSize);  // 4 dirty pages
+  DefragResult result;
+  fs_.DefragFile(ino, IoClass::kIdle, [&](const DefragResult& r) { result = r; });
+  rig_.loop.Run();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.dirty_pages, 4u);
+  // After defrag the file's pages are clean (transaction flushed them).
+  EXPECT_EQ(fs_.cache().DirtyCount(), 0u);
+}
+
+TEST_F(CowFsTest, NextAllocatedScansPhysicalOrder) {
+  InodeNo a = MakeFile("/a", 4);
+  BlockNo first = *fs_.Bmap(a, 0);
+  EXPECT_EQ(fs_.NextAllocated(0), first);
+  EXPECT_EQ(fs_.NextAllocated(first + 100), std::nullopt);
+}
+
+TEST_F(CowFsTest, RefcountsTrackSharing) {
+  InodeNo ino = MakeFile("/f", 1);
+  BlockNo b = *fs_.Bmap(ino, 0);
+  EXPECT_EQ(fs_.BlockRefcount(b), 1u);
+  SnapshotId s1 = *fs_.CreateSnapshot();
+  EXPECT_EQ(fs_.BlockRefcount(b), 2u);
+  SnapshotId s2 = *fs_.CreateSnapshot();
+  EXPECT_EQ(fs_.BlockRefcount(b), 3u);
+  ASSERT_TRUE(fs_.DeleteSnapshot(s1).ok());
+  ASSERT_TRUE(fs_.DeleteSnapshot(s2).ok());
+  EXPECT_EQ(fs_.BlockRefcount(b), 1u);
+}
+
+}  // namespace
+}  // namespace duet

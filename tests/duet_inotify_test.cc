@@ -1,0 +1,131 @@
+#include "src/duet/inotify.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cowfs/cowfs.h"
+#include "src/util/format.h"
+#include "tests/sim_fixture.h"
+
+namespace duet {
+namespace {
+
+class InotifyTest : public ::testing::Test {
+ protected:
+  InotifyTest()
+      : rig_(100'000), fs_(&rig_.loop, &rig_.device, 256), inotify_(&fs_) {}
+
+  void ReadSync(InodeNo ino, ByteOff off, uint64_t len) {
+    fs_.Read(ino, off, len, IoClass::kBestEffort, nullptr);
+    rig_.loop.RunUntil(rig_.loop.now() + Millis(200));
+  }
+
+  SimRig rig_;
+  CowFs fs_;
+  Inotify inotify_;
+};
+
+TEST_F(InotifyTest, WatchRequiresDirectory) {
+  InodeNo f = *fs_.PopulateFile("/f", kPageSize);
+  EXPECT_FALSE(inotify_.AddWatch(f, kInAccess).ok());
+  EXPECT_TRUE(inotify_.AddWatch(fs_.ns().root(), kInAccess).ok());
+}
+
+TEST_F(InotifyTest, AccessEventForWatchedDirectory) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  InodeNo f = *fs_.PopulateFile("/d/f", 4 * kPageSize);
+  int wd = *inotify_.AddWatch(*fs_.ns().Resolve("/d"), kInAccess | kInModify);
+  ReadSync(f, 0, 4 * kPageSize);
+  auto events = inotify_.ReadEvents(100);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].wd, wd);
+  EXPECT_EQ(events[0].ino, f);
+  EXPECT_EQ(events[0].mask, kInAccess);
+}
+
+TEST_F(InotifyTest, EventsAreFileLevelAndCoalesced) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  InodeNo f = *fs_.PopulateFile("/d/f", 8 * kPageSize);
+  (void)*inotify_.AddWatch(*fs_.ns().Resolve("/d"), kInAccess);
+  ReadSync(f, 0, 8 * kPageSize);  // 8 page events
+  auto events = inotify_.ReadEvents(100);
+  // Consecutive identical file-level events coalesce into one.
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST_F(InotifyTest, ModifyEvents) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  InodeNo f = *fs_.PopulateFile("/d/f", 2 * kPageSize);
+  (void)*inotify_.AddWatch(*fs_.ns().Resolve("/d"), kInModify);
+  fs_.Write(f, 0, kPageSize, IoClass::kBestEffort, nullptr);
+  rig_.loop.RunUntil(Millis(100));
+  auto events = inotify_.ReadEvents(100);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].mask, kInModify);
+}
+
+TEST_F(InotifyTest, NoEvictionOrWritebackVisibility) {
+  // The information gap vs Duet: flush and eviction produce nothing.
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  InodeNo f = *fs_.PopulateFile("/d/f", 2 * kPageSize);
+  (void)*inotify_.AddWatch(*fs_.ns().Resolve("/d"), kInAccess | kInModify);
+  fs_.Write(f, 0, kPageSize, IoClass::kBestEffort, nullptr);
+  rig_.loop.RunUntil(Millis(100));
+  (void)inotify_.ReadEvents(100);  // drain the modify event
+  fs_.writeback().Sync(nullptr);   // flush
+  rig_.loop.Run();
+  fs_.cache().RemoveInode(f);      // evict
+  EXPECT_TRUE(inotify_.ReadEvents(100).empty());
+}
+
+TEST_F(InotifyTest, WatchesAreNotRecursive) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(fs_.Mkdir("/d/sub").ok());
+  InodeNo deep = *fs_.PopulateFile("/d/sub/f", 2 * kPageSize);
+  (void)*inotify_.AddWatch(*fs_.ns().Resolve("/d"), kInAccess);
+  ReadSync(deep, 0, 2 * kPageSize);
+  // /d is watched but /d/sub is not: no events for the nested file.
+  EXPECT_TRUE(inotify_.ReadEvents(100).empty());
+}
+
+TEST_F(InotifyTest, RecursiveSetupCreatesWatchPerDirectory) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fs_.Mkdir(StrFormat("/d/sub%d", i)).ok());
+  }
+  Result<uint64_t> created =
+      inotify_.AddWatchRecursive(*fs_.ns().Resolve("/d"), kInAccess);
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(*created, 6u);  // /d plus five subdirectories
+  EXPECT_EQ(inotify_.watches(), 6u);
+}
+
+TEST_F(InotifyTest, RemoveWatchStopsEvents) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  InodeNo f = *fs_.PopulateFile("/d/f", kPageSize);
+  int wd = *inotify_.AddWatch(*fs_.ns().Resolve("/d"), kInAccess);
+  ASSERT_TRUE(inotify_.RemoveWatch(wd).ok());
+  EXPECT_FALSE(inotify_.RemoveWatch(wd).ok());
+  ReadSync(f, 0, kPageSize);
+  EXPECT_TRUE(inotify_.ReadEvents(100).empty());
+}
+
+TEST_F(InotifyTest, QueueOverflowDropsEvents) {
+  SimRig rig(100'000);
+  CowFs fs(&rig.loop, &rig.device, 4096);
+  Inotify small(&fs, /*queue_limit=*/4);
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  std::vector<InodeNo> files;
+  for (int i = 0; i < 10; ++i) {
+    files.push_back(*fs.PopulateFile(StrFormat("/d/f%d", i), kPageSize));
+  }
+  (void)*small.AddWatch(*fs.ns().Resolve("/d"), kInAccess);
+  for (InodeNo f : files) {
+    fs.Read(f, 0, kPageSize, IoClass::kBestEffort, nullptr);
+  }
+  rig.loop.RunUntil(Millis(500));
+  EXPECT_EQ(small.ReadEvents(100).size(), 4u);
+  EXPECT_GT(small.events_dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,143 @@
+// Stress tests for the merged-descriptor design at the configured maximum of
+// 16 concurrent sessions (paper §4.2: one descriptor per page holds an
+// N-byte flag array for up to N sessions).
+
+#include <gtest/gtest.h>
+
+#include "src/cowfs/cowfs.h"
+#include "src/duet/duet_core.h"
+#include "src/util/format.h"
+#include "src/util/rng.h"
+#include "tests/sim_fixture.h"
+
+namespace duet {
+namespace {
+
+class MultiSessionTest : public ::testing::Test {
+ protected:
+  MultiSessionTest()
+      : rig_(200'000, Micros(50)), fs_(&rig_.loop, &rig_.device, 512), duet_(&fs_) {}
+
+  SimRig rig_;
+  CowFs fs_;
+  DuetCore duet_;
+};
+
+TEST_F(MultiSessionTest, SixteenSessionsSeeTheSameEvents) {
+  InodeNo ino = *fs_.PopulateFile("/f", 32 * kPageSize);
+  std::vector<SessionId> sids;
+  for (int i = 0; i < 16; ++i) {
+    sids.push_back(*duet_.RegisterBlockTask(kDuetPageAdded));
+  }
+  fs_.Read(ino, 0, 32 * kPageSize, IoClass::kBestEffort, nullptr);
+  rig_.loop.RunUntil(Millis(500));
+  for (SessionId sid : sids) {
+    Result<std::vector<DuetItem>> items = duet_.Fetch(sid, 1024);
+    ASSERT_TRUE(items.ok());
+    EXPECT_EQ(items->size(), 32u) << "session " << sid;
+  }
+  // All notifications were carried by 32 merged descriptors, not 16x32.
+  EXPECT_LE(duet_.descriptor_count(), 32u);
+}
+
+TEST_F(MultiSessionTest, MixedMasksAndGranularities) {
+  ASSERT_TRUE(fs_.Mkdir("/a").ok());
+  ASSERT_TRUE(fs_.Mkdir("/b").ok());
+  InodeNo fa = *fs_.PopulateFile("/a/f", 8 * kPageSize);
+  InodeNo fb = *fs_.PopulateFile("/b/f", 8 * kPageSize);
+  SessionId block_added = *duet_.RegisterBlockTask(kDuetPageAdded);
+  SessionId block_state = *duet_.RegisterBlockTask(kDuetPageExists);
+  SessionId file_a = *duet_.RegisterFileTask("/a", kDuetPageExists);
+  SessionId file_b = *duet_.RegisterFileTask("/b", kDuetPageDirtied);
+
+  fs_.Read(fa, 0, 8 * kPageSize, IoClass::kBestEffort, nullptr);
+  fs_.Write(fb, 0, 4 * kPageSize, IoClass::kBestEffort, nullptr);
+  rig_.loop.RunUntil(Millis(500));
+
+  auto count = [&](SessionId sid) {
+    Result<std::vector<DuetItem>> items = duet_.Fetch(sid, 1024);
+    EXPECT_TRUE(items.ok());
+    return items.ok() ? items->size() : 0;
+  };
+  EXPECT_EQ(count(block_added), 12u);   // fa reads + fb write-inserted pages
+  EXPECT_EQ(count(block_state), 12u);   // same pages, via the Exists state
+  EXPECT_EQ(count(file_a), 8u);         // scoped to /a
+  EXPECT_EQ(count(file_b), 4u);         // dirty events in /b only
+}
+
+TEST_F(MultiSessionTest, RandomizedConcurrentSessionsStayConsistent) {
+  Rng rng(77);
+  std::vector<InodeNo> files;
+  for (int i = 0; i < 8; ++i) {
+    files.push_back(*fs_.PopulateFile(StrFormat("/f%d", i), 16 * kPageSize));
+  }
+  struct Live {
+    SessionId sid;
+    uint64_t fetched = 0;
+  };
+  std::vector<Live> sessions;
+  for (int round = 0; round < 40; ++round) {
+    uint64_t pick = rng.Uniform(10);
+    if (pick < 3 && sessions.size() < 12) {
+      uint8_t mask = static_cast<uint8_t>(1 + rng.Uniform(63));
+      Result<SessionId> sid = duet_.RegisterBlockTask(mask);
+      ASSERT_TRUE(sid.ok());
+      sessions.push_back(Live{*sid});
+    } else if (pick < 4 && !sessions.empty()) {
+      size_t idx = rng.Uniform(sessions.size());
+      ASSERT_TRUE(duet_.Deregister(sessions[idx].sid).ok());
+      sessions[idx] = sessions.back();
+      sessions.pop_back();
+    } else if (pick < 7) {
+      InodeNo ino = files[rng.Uniform(files.size())];
+      fs_.Read(ino, 0, 16 * kPageSize, IoClass::kBestEffort, nullptr);
+    } else {
+      InodeNo ino = files[rng.Uniform(files.size())];
+      fs_.Write(ino, 0, 4 * kPageSize, IoClass::kBestEffort, nullptr);
+    }
+    rig_.loop.RunUntil(rig_.loop.now() + Millis(rng.Uniform(30)));
+    if (!sessions.empty()) {
+      Live& s = sessions[rng.Uniform(sessions.size())];
+      Result<std::vector<DuetItem>> items = duet_.Fetch(s.sid, 256);
+      ASSERT_TRUE(items.ok());
+      s.fetched += items->size();
+      // Items must carry at least one flag bit and a mappable id.
+      for (const DuetItem& item : *items) {
+        EXPECT_NE(item.flags, 0);
+        EXPECT_TRUE(fs_.Rmap(item.id).ok() || item.has(kDuetPageRemoved));
+      }
+    }
+  }
+  // Drain everything and deregister; no descriptors may leak.
+  for (Live& s : sessions) {
+    while (true) {
+      Result<std::vector<DuetItem>> items = duet_.Fetch(s.sid, 1024);
+      ASSERT_TRUE(items.ok());
+      if (items->empty()) {
+        break;
+      }
+    }
+    ASSERT_TRUE(duet_.Deregister(s.sid).ok());
+  }
+  EXPECT_EQ(duet_.active_sessions(), 0u);
+  EXPECT_EQ(duet_.descriptor_count(), 0u);
+}
+
+TEST_F(MultiSessionTest, SessionSlotsAreRecycled) {
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    std::vector<SessionId> sids;
+    for (int i = 0; i < 16; ++i) {
+      Result<SessionId> sid = duet_.RegisterBlockTask(kDuetPageAdded);
+      ASSERT_TRUE(sid.ok()) << "cycle " << cycle << " session " << i;
+      sids.push_back(*sid);
+    }
+    EXPECT_EQ(duet_.RegisterBlockTask(kDuetPageAdded).status().code(),
+              StatusCode::kLimit);
+    for (SessionId sid : sids) {
+      ASSERT_TRUE(duet_.Deregister(sid).ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace duet

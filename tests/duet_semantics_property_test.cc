@@ -1,0 +1,142 @@
+// Property test of the Duet notification algebra (paper §3.2 / Table 2)
+// against an executable reference model.
+//
+// For one page, a random interleaving of cache operations and fetches is
+// generated. The reference model tracks, per session:
+//  * which event types occurred since the last fetch (event subscriptions);
+//  * the page state at the last fetch vs now (state subscriptions).
+// The real DuetCore must report exactly what the model predicts: accumulated
+// event bits, state items only on net change, with current polarity.
+
+#include <gtest/gtest.h>
+
+#include "src/cowfs/cowfs.h"
+#include "src/duet/duet_core.h"
+#include "src/util/rng.h"
+#include "tests/sim_fixture.h"
+
+namespace duet {
+namespace {
+
+struct ReferenceModel {
+  // Page state in the (modeled) cache.
+  bool exists = false;
+  bool modified = false;
+  // Accumulated-but-unfetched event bits.
+  uint8_t pending_events = 0;
+  // State snapshot at the last fetch.
+  bool reported_exists = false;
+  bool reported_modified = false;
+
+  void Apply(PageEventType type) {
+    switch (type) {
+      case PageEventType::kAdded:
+        exists = true;
+        pending_events |= kDuetPageAdded;
+        break;
+      case PageEventType::kRemoved:
+        exists = false;
+        modified = false;
+        pending_events |= kDuetPageRemoved;
+        break;
+      case PageEventType::kDirtied:
+        modified = true;
+        pending_events |= kDuetPageDirtied;
+        break;
+      case PageEventType::kFlushed:
+        modified = false;
+        pending_events |= kDuetPageFlushed;
+        break;
+    }
+  }
+
+  // Expected item flags for a session with `mask`; 0 = no item.
+  uint8_t ExpectedFlags(uint8_t mask) {
+    uint8_t out = pending_events & mask & kDuetEventMask;
+    if ((mask & kDuetPageExists) != 0 && reported_exists != exists) {
+      out |= exists ? kDuetPageExists : kDuetPageRemoved;
+    }
+    if ((mask & kDuetPageModified) != 0 && reported_modified != modified) {
+      out |= modified ? kDuetPageModified : kDuetPageFlushed;
+    }
+    return out;
+  }
+
+  void MarkFetched() {
+    pending_events = 0;
+    reported_exists = exists;
+    reported_modified = modified;
+  }
+};
+
+class DuetSemanticsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DuetSemanticsPropertyTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  SimRig rig(100'000);
+  CowFs fs(&rig.loop, &rig.device, 64);
+  DuetCore duet(&fs);
+  InodeNo ino = *fs.PopulateFile("/f", kPageSize);
+  uint64_t token = 1000;
+
+  // A random subscription mask (at least one bit).
+  uint8_t mask = 0;
+  while (mask == 0) {
+    mask = static_cast<uint8_t>(rng.Uniform(64));
+  }
+  SessionId sid = *duet.RegisterBlockTask(mask);
+  ReferenceModel model;  // page not cached at registration: model in sync
+
+  for (int step = 0; step < 300; ++step) {
+    uint64_t action = rng.Uniform(6);
+    switch (action) {
+      case 0:  // add (insert clean) — only when absent
+        if (!model.exists) {
+          fs.cache().Insert(ino, 0, ++token, false);
+          model.Apply(PageEventType::kAdded);
+        }
+        break;
+      case 1:  // remove — only when present and clean (LRU never evicts dirty)
+        if (model.exists && !model.modified) {
+          ASSERT_TRUE(fs.cache().Remove(ino, 0));
+          model.Apply(PageEventType::kRemoved);
+        }
+        break;
+      case 2:  // dirty
+        if (model.exists && !model.modified) {
+          ASSERT_TRUE(fs.cache().MarkDirty(ino, 0, ++token));
+          model.Apply(PageEventType::kDirtied);
+        }
+        break;
+      case 3:  // flush
+        if (model.exists && model.modified) {
+          ASSERT_TRUE(fs.cache().MarkClean(ino, 0));
+          model.Apply(PageEventType::kFlushed);
+        }
+        break;
+      default: {  // fetch
+        uint8_t expected = model.ExpectedFlags(mask);
+        Result<std::vector<DuetItem>> items = duet.Fetch(sid, 16);
+        ASSERT_TRUE(items.ok());
+        if (expected == 0) {
+          ASSERT_TRUE(items->empty())
+              << "step " << step << ": expected no item, got flags "
+              << int((*items)[0].flags);
+        } else {
+          ASSERT_EQ(items->size(), 1u) << "step " << step;
+          EXPECT_EQ((*items)[0].flags, expected) << "step " << step;
+          EXPECT_EQ((*items)[0].id, *fs.Bmap(ino, 0));
+        }
+        model.MarkFetched();
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DuetSemanticsPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                           13, 14, 15, 16));
+
+}  // namespace
+}  // namespace duet

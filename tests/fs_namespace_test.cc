@@ -1,0 +1,187 @@
+#include "src/fs/namespace.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace duet {
+namespace {
+
+class RecordingObserver : public VfsObserver {
+ public:
+  void OnRename(InodeNo ino, InodeNo old_parent, InodeNo new_parent,
+                bool is_dir) override {
+    renames.push_back({ino, old_parent, new_parent, is_dir});
+  }
+  void OnUnlink(InodeNo ino) override { unlinks.push_back(ino); }
+  void OnCreate(InodeNo ino) override { creates.push_back(ino); }
+
+  struct RenameEvent {
+    InodeNo ino, old_parent, new_parent;
+    bool is_dir;
+  };
+  std::vector<RenameEvent> renames;
+  std::vector<InodeNo> unlinks;
+  std::vector<InodeNo> creates;
+};
+
+TEST(SplitPathTest, Variants) {
+  EXPECT_TRUE(SplitPath("/").empty());
+  EXPECT_TRUE(SplitPath("").empty());
+  auto parts = SplitPath("/a/b/c");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(SplitPath("//a//b/").size(), 2u);
+  EXPECT_EQ(SplitPath("a/b").size(), 2u);  // relative treated as root-based
+}
+
+TEST(NamespaceTest, RootExists) {
+  Namespace ns;
+  ASSERT_TRUE(ns.Resolve("/").ok());
+  EXPECT_EQ(*ns.Resolve("/"), Namespace::kRootIno);
+  EXPECT_EQ(*ns.PathOf(Namespace::kRootIno), "/");
+}
+
+TEST(NamespaceTest, CreateResolvePath) {
+  Namespace ns;
+  ASSERT_TRUE(ns.Create("/dir", FileType::kDirectory).ok());
+  Result<InodeNo> file = ns.Create("/dir/file.txt", FileType::kRegular);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(*ns.Resolve("/dir/file.txt"), *file);
+  EXPECT_EQ(*ns.PathOf(*file), "/dir/file.txt");
+}
+
+TEST(NamespaceTest, CreateFailsWithoutParent) {
+  Namespace ns;
+  EXPECT_EQ(ns.Create("/no/such/file", FileType::kRegular).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(NamespaceTest, CreateDuplicateFails) {
+  Namespace ns;
+  ASSERT_TRUE(ns.Create("/f", FileType::kRegular).ok());
+  EXPECT_EQ(ns.Create("/f", FileType::kRegular).status().code(), StatusCode::kExists);
+}
+
+TEST(NamespaceTest, CreateThroughFileFails) {
+  Namespace ns;
+  ASSERT_TRUE(ns.Create("/f", FileType::kRegular).ok());
+  EXPECT_FALSE(ns.Create("/f/child", FileType::kRegular).ok());
+}
+
+TEST(NamespaceTest, UnlinkFile) {
+  Namespace ns;
+  InodeNo ino = *ns.Create("/f", FileType::kRegular);
+  EXPECT_TRUE(ns.Unlink(ino).ok());
+  EXPECT_FALSE(ns.Resolve("/f").ok());
+  EXPECT_FALSE(ns.Exists(ino));
+}
+
+TEST(NamespaceTest, UnlinkNonEmptyDirFails) {
+  Namespace ns;
+  InodeNo dir = *ns.Create("/d", FileType::kDirectory);
+  ASSERT_TRUE(ns.Create("/d/f", FileType::kRegular).ok());
+  EXPECT_EQ(ns.Unlink(dir).code(), StatusCode::kBusy);
+}
+
+TEST(NamespaceTest, UnlinkRootFails) {
+  Namespace ns;
+  EXPECT_FALSE(ns.Unlink(Namespace::kRootIno).ok());
+}
+
+TEST(NamespaceTest, IsUnder) {
+  Namespace ns;
+  InodeNo a = *ns.Create("/a", FileType::kDirectory);
+  InodeNo b = *ns.Create("/a/b", FileType::kDirectory);
+  InodeNo f = *ns.Create("/a/b/f", FileType::kRegular);
+  InodeNo other = *ns.Create("/other", FileType::kRegular);
+  EXPECT_TRUE(ns.IsUnder(f, a));
+  EXPECT_TRUE(ns.IsUnder(f, b));
+  EXPECT_TRUE(ns.IsUnder(f, Namespace::kRootIno));
+  EXPECT_TRUE(ns.IsUnder(a, a));  // inclusive
+  EXPECT_FALSE(ns.IsUnder(other, a));
+  EXPECT_FALSE(ns.IsUnder(a, f));
+}
+
+TEST(NamespaceTest, RenameMovesSubtree) {
+  Namespace ns;
+  InodeNo src = *ns.Create("/src", FileType::kDirectory);
+  InodeNo dst = *ns.Create("/dst", FileType::kDirectory);
+  InodeNo dir = *ns.Create("/src/dir", FileType::kDirectory);
+  InodeNo f = *ns.Create("/src/dir/f", FileType::kRegular);
+  ASSERT_TRUE(ns.Rename(dir, dst, "moved").ok());
+  EXPECT_EQ(*ns.PathOf(f), "/dst/moved/f");
+  EXPECT_TRUE(ns.IsUnder(f, dst));
+  EXPECT_FALSE(ns.IsUnder(f, src));
+}
+
+TEST(NamespaceTest, RenameIntoOwnSubtreeFails) {
+  Namespace ns;
+  InodeNo a = *ns.Create("/a", FileType::kDirectory);
+  InodeNo b = *ns.Create("/a/b", FileType::kDirectory);
+  EXPECT_EQ(ns.Rename(a, b, "x").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NamespaceTest, RenameOntoExistingNameFails) {
+  Namespace ns;
+  InodeNo f = *ns.Create("/f", FileType::kRegular);
+  ASSERT_TRUE(ns.Create("/g", FileType::kRegular).ok());
+  EXPECT_EQ(ns.Rename(f, Namespace::kRootIno, "g").code(), StatusCode::kExists);
+}
+
+TEST(NamespaceTest, WalkDepthFirstIsNameOrderedAndComplete) {
+  Namespace ns;
+  ASSERT_TRUE(ns.Create("/b", FileType::kDirectory).ok());
+  ASSERT_TRUE(ns.Create("/a", FileType::kDirectory).ok());
+  ASSERT_TRUE(ns.Create("/a/z", FileType::kRegular).ok());
+  ASSERT_TRUE(ns.Create("/a/y", FileType::kRegular).ok());
+  ASSERT_TRUE(ns.Create("/b/x", FileType::kRegular).ok());
+  std::vector<std::string> names;
+  ns.WalkDepthFirst(ns.root(), [&](const Inode& inode) {
+    names.push_back(inode.name);
+    return true;
+  });
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "y", "z", "b", "x"}));
+}
+
+TEST(NamespaceTest, WalkStopsWhenCallbackReturnsFalse) {
+  Namespace ns;
+  for (char c = 'a'; c <= 'e'; ++c) {
+    ASSERT_TRUE(ns.Create(std::string("/") + c, FileType::kRegular).ok());
+  }
+  int visited = 0;
+  ns.WalkDepthFirst(ns.root(), [&](const Inode&) { return ++visited < 3; });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(NamespaceTest, ObserverSeesCreateUnlinkRename) {
+  Namespace ns;
+  RecordingObserver obs;
+  ns.AddObserver(&obs);
+  InodeNo dir = *ns.Create("/d", FileType::kDirectory);
+  InodeNo f = *ns.Create("/f", FileType::kRegular);
+  ASSERT_TRUE(ns.Rename(f, dir, "f2").ok());
+  ASSERT_TRUE(ns.Unlink(f).ok());
+  ASSERT_EQ(obs.creates.size(), 2u);
+  ASSERT_EQ(obs.renames.size(), 1u);
+  EXPECT_EQ(obs.renames[0].ino, f);
+  EXPECT_EQ(obs.renames[0].old_parent, Namespace::kRootIno);
+  EXPECT_EQ(obs.renames[0].new_parent, dir);
+  EXPECT_FALSE(obs.renames[0].is_dir);
+  ASSERT_EQ(obs.unlinks.size(), 1u);
+  EXPECT_EQ(obs.unlinks[0], f);
+}
+
+TEST(NamespaceTest, MaxInoGrowsMonotonically) {
+  Namespace ns;
+  InodeNo before = ns.max_ino();
+  InodeNo f = *ns.Create("/f", FileType::kRegular);
+  EXPECT_GE(ns.max_ino(), f);
+  EXPECT_GT(ns.max_ino(), before);
+  ASSERT_TRUE(ns.Unlink(f).ok());
+  EXPECT_GT(ns.max_ino(), f);  // numbers are never reused
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,130 @@
+#include "src/tasks/backup.h"
+
+#include <gtest/gtest.h>
+
+#include "src/duet/duet_core.h"
+#include "src/util/format.h"
+#include "tests/sim_fixture.h"
+
+namespace duet {
+namespace {
+
+class BackupTest : public ::testing::Test {
+ protected:
+  BackupTest()
+      : rig_(1'000'000, Micros(100)),
+        fs_(&rig_.loop, &rig_.device, /*cache_pages=*/512),
+        duet_(&fs_) {}
+
+  void Populate(int files, uint64_t pages_each) {
+    for (int i = 0; i < files; ++i) {
+      ASSERT_TRUE(fs_.PopulateFile(StrFormat("/f%d", i), pages_each * kPageSize).ok());
+    }
+  }
+
+  SimRig rig_;
+  CowFs fs_;
+  DuetCore duet_;
+};
+
+TEST_F(BackupTest, BaselineSendsEveryPageOnce) {
+  Populate(8, 32);
+  Backup backup(&fs_, nullptr, BackupConfig{});
+  bool finished = false;
+  backup.Start([&] { finished = true; });
+  rig_.loop.Run();
+  ASSERT_TRUE(finished);
+  EXPECT_TRUE(backup.AllPagesSentOnce());
+  EXPECT_EQ(backup.bytes_sent(), 8 * 32 * kPageSize);
+  EXPECT_EQ(backup.stats().work_done, backup.stats().work_total);
+}
+
+TEST_F(BackupTest, SnapshotVersionIsBackedUpDespiteOverwrites) {
+  Populate(2, 64);
+  InodeNo f0 = *fs_.ns().Resolve("/f0");
+  BackupConfig config;
+  config.chunk_pages = 8;
+  Backup backup(&fs_, nullptr, config);
+  bool finished = false;
+  backup.Start([&] { finished = true; });
+  // Overwrite f0 heavily while the backup streams.
+  for (int i = 1; i <= 10; ++i) {
+    rig_.loop.ScheduleAt(Millis(static_cast<uint64_t>(i)), [this, f0] {
+      fs_.Write(f0, 0, 32 * kPageSize, IoClass::kBestEffort, nullptr);
+    });
+  }
+  rig_.loop.Run();
+  ASSERT_TRUE(finished);
+  EXPECT_TRUE(backup.AllPagesSentOnce());
+}
+
+TEST_F(BackupTest, DuetOpportunisticallyCopiesCachedPages) {
+  Populate(8, 32);
+  BackupConfig config;
+  config.use_duet = true;
+  config.chunk_pages = 4;  // slow the stream so the reads below overlap it
+  Backup backup(&fs_, &duet_, config);
+  bool finished = false;
+  backup.Start([&] { finished = true; });
+  // Foreground reads bring shared pages into the cache during the backup.
+  for (int i = 4; i < 8; ++i) {
+    InodeNo ino = *fs_.ns().Resolve(StrFormat("/f%d", i));
+    rig_.loop.ScheduleAt(Micros(static_cast<uint64_t>(200 * i)), [this, ino] {
+      fs_.Read(ino, 0, 32 * kPageSize, IoClass::kBestEffort, nullptr);
+    });
+  }
+  rig_.loop.Run();
+  ASSERT_TRUE(finished);
+  EXPECT_TRUE(backup.AllPagesSentOnce());
+  EXPECT_GT(backup.stats().opportunistic_units, 0u);
+  EXPECT_GT(backup.stats().saved_read_pages, 0u);
+  EXPECT_LT(backup.stats().io_read_pages, backup.stats().work_total);
+  EXPECT_EQ(backup.stats().work_done, backup.stats().work_total);
+}
+
+TEST_F(BackupTest, DuetDoesNotCopyPagesModifiedSinceSnapshot) {
+  Populate(2, 32);
+  InodeNo f0 = *fs_.ns().Resolve("/f0");
+  BackupConfig config;
+  config.use_duet = true;
+  config.chunk_pages = 4;
+  Backup backup(&fs_, &duet_, config);
+  bool finished = false;
+  backup.Start([&] { finished = true; });
+  // Immediately dirty f0 (after the snapshot is cut at t≈0) and then read
+  // it back: the cached pages no longer share blocks with the snapshot, so
+  // the opportunistic path must not send them.
+  rig_.loop.ScheduleAt(Millis(1), [this, f0] {
+    fs_.Write(f0, 0, 32 * kPageSize, IoClass::kBestEffort, nullptr);
+  });
+  rig_.loop.Run();
+  ASSERT_TRUE(finished);
+  // Still complete and consistent: the preserved blocks were read instead.
+  EXPECT_TRUE(backup.AllPagesSentOnce());
+}
+
+TEST_F(BackupTest, StopReleasesSnapshot) {
+  Populate(4, 64);
+  uint64_t blocks_before = fs_.allocated_blocks();
+  Backup backup(&fs_, nullptr, BackupConfig{});
+  backup.Start();
+  rig_.loop.RunUntil(Millis(2));
+  backup.Stop();
+  rig_.loop.Run();
+  EXPECT_EQ(fs_.allocated_blocks(), blocks_before);  // snapshot refs dropped
+}
+
+TEST_F(BackupTest, BackupReadsPopulateCacheForOtherTasks) {
+  Populate(4, 32);
+  Backup backup(&fs_, nullptr, BackupConfig{});
+  bool finished = false;
+  backup.Start([&] { finished = true; });
+  rig_.loop.Run();
+  ASSERT_TRUE(finished);
+  // Shared (unmodified) pages were read through the page cache.
+  InodeNo f0 = *fs_.ns().Resolve("/f0");
+  EXPECT_GT(fs_.cache().CachedPagesOfInode(f0), 0u);
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,208 @@
+#include "src/util/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace duet {
+namespace {
+
+TEST(BitmapTest, StartsEmpty) {
+  Bitmap bm(1000);
+  EXPECT_EQ(bm.size(), 1000u);
+  EXPECT_EQ(bm.Count(), 0u);
+  EXPECT_TRUE(bm.AllClear());
+  EXPECT_FALSE(bm.AllSet());
+  EXPECT_FALSE(bm.Test(0));
+  EXPECT_FALSE(bm.Test(999));
+}
+
+TEST(BitmapTest, SetClearTest) {
+  Bitmap bm(130);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(129);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(129));
+  EXPECT_FALSE(bm.Test(1));
+  EXPECT_EQ(bm.Count(), 4u);
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Test(63));
+  EXPECT_EQ(bm.Count(), 3u);
+}
+
+TEST(BitmapTest, SetIsIdempotent) {
+  Bitmap bm(10);
+  bm.Set(5);
+  bm.Set(5);
+  EXPECT_EQ(bm.Count(), 1u);
+  bm.Clear(5);
+  bm.Clear(5);
+  EXPECT_EQ(bm.Count(), 0u);
+}
+
+TEST(BitmapTest, SetRangeWithinWord) {
+  Bitmap bm(64);
+  bm.SetRange(3, 9);
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(bm.Test(i), i >= 3 && i < 9) << i;
+  }
+}
+
+TEST(BitmapTest, SetRangeAcrossWords) {
+  Bitmap bm(256);
+  bm.SetRange(60, 200);
+  EXPECT_EQ(bm.Count(), 140u);
+  EXPECT_FALSE(bm.Test(59));
+  EXPECT_TRUE(bm.Test(60));
+  EXPECT_TRUE(bm.Test(199));
+  EXPECT_FALSE(bm.Test(200));
+}
+
+TEST(BitmapTest, EmptyRangeIsNoop) {
+  Bitmap bm(100);
+  bm.SetRange(10, 10);
+  EXPECT_EQ(bm.Count(), 0u);
+  bm.SetRange(0, 100);
+  bm.ClearRange(50, 50);
+  EXPECT_EQ(bm.Count(), 100u);
+}
+
+TEST(BitmapTest, ClearRange) {
+  Bitmap bm(256);
+  bm.SetRange(0, 256);
+  bm.ClearRange(100, 130);
+  EXPECT_EQ(bm.Count(), 256u - 30u);
+  EXPECT_TRUE(bm.Test(99));
+  EXPECT_FALSE(bm.Test(100));
+  EXPECT_FALSE(bm.Test(129));
+  EXPECT_TRUE(bm.Test(130));
+}
+
+TEST(BitmapTest, CountRange) {
+  Bitmap bm(300);
+  bm.SetRange(10, 290);
+  EXPECT_EQ(bm.CountRange(0, 300), 280u);
+  EXPECT_EQ(bm.CountRange(0, 10), 0u);
+  EXPECT_EQ(bm.CountRange(10, 11), 1u);
+  EXPECT_EQ(bm.CountRange(100, 200), 100u);
+  EXPECT_EQ(bm.CountRange(285, 300), 5u);
+  EXPECT_EQ(bm.CountRange(150, 150), 0u);
+}
+
+TEST(BitmapTest, FindNextSet) {
+  Bitmap bm(200);
+  EXPECT_EQ(bm.FindNextSet(0), std::nullopt);
+  bm.Set(5);
+  bm.Set(70);
+  bm.Set(199);
+  EXPECT_EQ(bm.FindNextSet(0), 5u);
+  EXPECT_EQ(bm.FindNextSet(5), 5u);
+  EXPECT_EQ(bm.FindNextSet(6), 70u);
+  EXPECT_EQ(bm.FindNextSet(71), 199u);
+  EXPECT_EQ(bm.FindNextSet(200), std::nullopt);
+}
+
+TEST(BitmapTest, FindNextClear) {
+  Bitmap bm(100);
+  bm.SetRange(0, 100);
+  EXPECT_EQ(bm.FindNextClear(0), std::nullopt);
+  bm.Clear(42);
+  EXPECT_EQ(bm.FindNextClear(0), 42u);
+  EXPECT_EQ(bm.FindNextClear(43), std::nullopt);
+}
+
+TEST(BitmapTest, AllSetAllClear) {
+  Bitmap bm(65);
+  EXPECT_TRUE(bm.AllClear());
+  bm.SetRange(0, 65);
+  EXPECT_TRUE(bm.AllSet());
+  bm.Clear(64);
+  EXPECT_FALSE(bm.AllSet());
+  bm.Reset();
+  EXPECT_TRUE(bm.AllClear());
+}
+
+// Property test: random operations against a reference std::vector<bool>.
+class BitmapPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitmapPropertyTest, MatchesReferenceModel) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const uint64_t n = 1 + rng.Uniform(2000);
+  Bitmap bm(n);
+  std::vector<bool> ref(n, false);
+
+  for (int step = 0; step < 500; ++step) {
+    switch (rng.Uniform(5)) {
+      case 0: {
+        uint64_t b = rng.Uniform(n);
+        bm.Set(b);
+        ref[b] = true;
+        break;
+      }
+      case 1: {
+        uint64_t b = rng.Uniform(n);
+        bm.Clear(b);
+        ref[b] = false;
+        break;
+      }
+      case 2: {
+        uint64_t lo = rng.Uniform(n + 1);
+        uint64_t hi = lo + rng.Uniform(n + 1 - lo);
+        bm.SetRange(lo, hi);
+        for (uint64_t i = lo; i < hi; ++i) {
+          ref[i] = true;
+        }
+        break;
+      }
+      case 3: {
+        uint64_t lo = rng.Uniform(n + 1);
+        uint64_t hi = lo + rng.Uniform(n + 1 - lo);
+        bm.ClearRange(lo, hi);
+        for (uint64_t i = lo; i < hi; ++i) {
+          ref[i] = false;
+        }
+        break;
+      }
+      case 4: {
+        uint64_t lo = rng.Uniform(n + 1);
+        uint64_t hi = lo + rng.Uniform(n + 1 - lo);
+        uint64_t expected = 0;
+        for (uint64_t i = lo; i < hi; ++i) {
+          expected += ref[i] ? 1 : 0;
+        }
+        ASSERT_EQ(bm.CountRange(lo, hi), expected);
+        break;
+      }
+    }
+  }
+
+  uint64_t expected_count = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(bm.Test(i), ref[i]) << "bit " << i;
+    expected_count += ref[i] ? 1 : 0;
+  }
+  EXPECT_EQ(bm.Count(), expected_count);
+
+  // FindNextSet agrees with a linear scan from several anchors.
+  for (uint64_t anchor = 0; anchor < n; anchor += 1 + n / 7) {
+    std::optional<uint64_t> expected;
+    for (uint64_t i = anchor; i < n; ++i) {
+      if (ref[i]) {
+        expected = i;
+        break;
+      }
+    }
+    EXPECT_EQ(bm.FindNextSet(anchor), expected) << "anchor " << anchor;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,58 @@
+#include "src/util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace duet {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vectors for CRC32C.
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  const char digits[] = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xe3069283u);
+
+  uint8_t zeros[32] = {};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8a9136aau);
+
+  uint8_t ones[32];
+  memset(ones, 0xff, sizeof(ones));
+  EXPECT_EQ(Crc32c(ones, sizeof(ones)), 0x62a8ab43u);
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  std::string a = "the quick brown fox";
+  std::string b = "the quick brown foy";
+  EXPECT_NE(Crc32c(a.data(), a.size()), Crc32c(b.data(), b.size()));
+}
+
+TEST(Crc32cTest, SingleBitFlipDetected) {
+  Rng rng(99);
+  uint8_t buf[4096];
+  for (auto& byte : buf) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  uint32_t original = Crc32c(buf, sizeof(buf));
+  for (int trial = 0; trial < 50; ++trial) {
+    uint64_t bit = rng.Uniform(sizeof(buf) * 8);
+    buf[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_NE(Crc32c(buf, sizeof(buf)), original) << "bit " << bit;
+    buf[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));  // restore
+  }
+  EXPECT_EQ(Crc32c(buf, sizeof(buf)), original);
+}
+
+TEST(Crc32cTest, SeedChainingMatchesOneShot) {
+  std::string data = "abcdefghijklmnopqrstuvwxyz0123456789";
+  uint32_t whole = Crc32c(data.data(), data.size());
+  uint32_t first = Crc32c(data.data(), 10);
+  uint32_t chained = Crc32c(data.data() + 10, data.size() - 10, first);
+  EXPECT_EQ(chained, whole);
+}
+
+}  // namespace
+}  // namespace duet

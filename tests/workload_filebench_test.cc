@@ -1,0 +1,173 @@
+#include "src/workload/filebench.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cowfs/cowfs.h"
+#include "tests/sim_fixture.h"
+
+namespace duet {
+namespace {
+
+class FilebenchTest : public ::testing::Test {
+ protected:
+  FilebenchTest() : rig_(2'000'000, Micros(200)) {}
+
+  WorkloadConfig BaseConfig(Personality p) {
+    WorkloadConfig config;
+    config.personality = p;
+    config.file_count = 200;
+    config.mean_file_size = 32 * 1024;
+    config.seed = 7;
+    return config;
+  }
+
+  SimRig rig_;
+};
+
+TEST_F(FilebenchTest, SetupPopulatesFileSet) {
+  CowFs fs(&rig_.loop, &rig_.device, 1024);
+  FilebenchWorkload wl(&fs, BaseConfig(Personality::kWebserver));
+  ASSERT_TRUE(wl.Setup().ok());
+  EXPECT_EQ(wl.covered_files(), 200u);
+  EXPECT_GT(fs.allocated_blocks(), 200u);  // data exists on disk
+  EXPECT_TRUE(fs.ns().Resolve("/data").ok());
+  EXPECT_TRUE(fs.ns().Resolve("/weblog").ok());
+}
+
+TEST_F(FilebenchTest, CoverageLimitsTouchedFiles) {
+  CowFs fs(&rig_.loop, &rig_.device, 1024);
+  WorkloadConfig config = BaseConfig(Personality::kWebserver);
+  config.coverage = 0.25;
+  FilebenchWorkload wl(&fs, config);
+  ASSERT_TRUE(wl.Setup().ok());
+  EXPECT_EQ(wl.covered_files(), 50u);
+  wl.Start();
+  rig_.loop.RunUntil(Seconds(20));
+  wl.Stop();
+  // Only covered files (plus the log) may have cache pages.
+  uint64_t files_touched = 0;
+  fs.ns().WalkDepthFirst(fs.ns().root(), [&](const Inode& inode) {
+    if (!inode.is_dir() && fs.cache().CachedPagesOfInode(inode.ino) > 0) {
+      ++files_touched;
+    }
+    return true;
+  });
+  EXPECT_LE(files_touched, 51u);
+  EXPECT_GT(wl.stats().ops_completed, 0u);
+}
+
+TEST_F(FilebenchTest, WebserverReadWriteRatio) {
+  CowFs fs(&rig_.loop, &rig_.device, 1024);
+  FilebenchWorkload wl(&fs, BaseConfig(Personality::kWebserver));
+  ASSERT_TRUE(wl.Setup().ok());
+  wl.Start();
+  rig_.loop.RunUntil(Seconds(60));
+  wl.Stop();
+  const WorkloadStats& s = wl.stats();
+  ASSERT_GT(s.write_ops, 0u);
+  double ratio = static_cast<double>(s.read_ops) / static_cast<double>(s.write_ops);
+  EXPECT_NEAR(ratio, 10.0, 2.5);
+  EXPECT_EQ(s.creates, 0u);  // webserver never creates/deletes
+  EXPECT_EQ(s.deletes, 0u);
+}
+
+TEST_F(FilebenchTest, WebproxyReadWriteRatio) {
+  CowFs fs(&rig_.loop, &rig_.device, 1024);
+  FilebenchWorkload wl(&fs, BaseConfig(Personality::kWebproxy));
+  ASSERT_TRUE(wl.Setup().ok());
+  wl.Start();
+  rig_.loop.RunUntil(Seconds(60));
+  wl.Stop();
+  const WorkloadStats& s = wl.stats();
+  ASSERT_GT(s.write_ops, 0u);
+  double ratio = static_cast<double>(s.read_ops) / static_cast<double>(s.write_ops);
+  EXPECT_NEAR(ratio, 4.0, 1.2);
+}
+
+TEST_F(FilebenchTest, FileserverIsWriteHeavy) {
+  CowFs fs(&rig_.loop, &rig_.device, 1024);
+  FilebenchWorkload wl(&fs, BaseConfig(Personality::kFileserver));
+  ASSERT_TRUE(wl.Setup().ok());
+  wl.Start();
+  rig_.loop.RunUntil(Seconds(60));
+  wl.Stop();
+  const WorkloadStats& s = wl.stats();
+  ASSERT_GT(s.read_ops, 0u);
+  double ratio = static_cast<double>(s.write_ops) / static_cast<double>(s.read_ops);
+  EXPECT_NEAR(ratio, 2.0, 0.6);
+  EXPECT_GT(s.creates, 0u);
+  EXPECT_GT(s.deletes, 0u);
+}
+
+TEST_F(FilebenchTest, ThrottleControlsOpRate) {
+  CowFs fs(&rig_.loop, &rig_.device, 1024);
+  WorkloadConfig config = BaseConfig(Personality::kWebserver);
+  config.ops_per_sec = 20;
+  FilebenchWorkload wl(&fs, config);
+  ASSERT_TRUE(wl.Setup().ok());
+  wl.Start();
+  rig_.loop.RunUntil(Seconds(100));
+  wl.Stop();
+  double rate = static_cast<double>(wl.stats().ops_completed) / 100.0;
+  EXPECT_NEAR(rate, 20.0, 4.0);
+}
+
+TEST_F(FilebenchTest, ThrottledRunsUseLessDevice) {
+  CowFs fs_fast(&rig_.loop, &rig_.device, 1024);
+  WorkloadConfig slow_cfg = BaseConfig(Personality::kWebserver);
+  slow_cfg.ops_per_sec = 5;
+  FilebenchWorkload slow(&fs_fast, slow_cfg);
+  ASSERT_TRUE(slow.Setup().ok());
+  slow.Start();
+  rig_.loop.RunUntil(Seconds(50));
+  slow.Stop();
+  double util = rig_.device.BestEffortUtilizationSince(0, 0);
+  EXPECT_LT(util, 0.5);
+  EXPECT_GT(util, 0.0);
+}
+
+TEST_F(FilebenchTest, DeterministicForSameSeed) {
+  uint64_t completed[2];
+  for (int trial = 0; trial < 2; ++trial) {
+    SimRig rig(2'000'000, Micros(200));
+    CowFs fs(&rig.loop, &rig.device, 1024);
+    FilebenchWorkload wl(&fs, BaseConfig(Personality::kFileserver));
+    ASSERT_TRUE(wl.Setup().ok());
+    wl.Start();
+    rig.loop.RunUntil(Seconds(30));
+    wl.Stop();
+    completed[trial] = wl.stats().ops_completed;
+  }
+  EXPECT_EQ(completed[0], completed[1]);
+}
+
+TEST_F(FilebenchTest, SkewedPickerConcentratesAccesses) {
+  // Run uniform and skewed configurations for the same (throttled) op
+  // budget and compare how many distinct files each touches.
+  uint64_t touched[2] = {0, 0};
+  for (int trial = 0; trial < 2; ++trial) {
+    SimRig rig(2'000'000, Micros(200));
+    CowFs fs(&rig.loop, &rig.device, 8192);
+    WorkloadConfig config = BaseConfig(Personality::kWebserver);
+    config.skewed = trial == 1;
+    config.ops_per_sec = 40;
+    FilebenchWorkload wl(&fs, config);
+    ASSERT_TRUE(wl.Setup().ok());
+    wl.Start();
+    rig.loop.RunUntil(Seconds(10));
+    wl.Stop();
+    fs.ns().WalkDepthFirst(fs.ns().root(), [&](const Inode& inode) {
+      if (!inode.is_dir() && fs.cache().CachedPagesOfInode(inode.ino) > 0) {
+        ++touched[trial];
+      }
+      return true;
+    });
+    EXPECT_GT(wl.stats().ops_completed, 200u);
+  }
+  // The skewed (MS-trace-like, Fig. 1) picker concentrates accesses on far
+  // fewer files than the uniform default.
+  EXPECT_LT(touched[1], touched[0] * 3 / 4);
+}
+
+}  // namespace
+}  // namespace duet

@@ -1,0 +1,187 @@
+// duetsim: command-line front end for the simulation harness. Runs one
+// maintenance experiment with the given workload and prints a run report.
+//
+// Examples:
+//   duetsim --tasks=scrub --util=0.5
+//   duetsim --tasks=scrub,backup,defrag --duet --util=0.7 --personality=webproxy
+//   duetsim --tasks=backup --duet --ssd --coverage=0.5 --skew
+//   duetsim --rsync --duet --coverage=0.75
+//   duetsim --gc --duet --util=0.6
+//
+// Flags (defaults in brackets):
+//   --personality=webserver|webproxy|fileserver   [webserver]
+//   --tasks=scrub,backup,defrag                   [scrub]
+//   --util=<0..1>            target device utilization       [0.5]
+//   --coverage=<0..1>        data overlap with maintenance   [1.0]
+//   --duet                   opportunistic mode              [off]
+//   --skew                   MS-trace-like file picking      [off]
+//   --ssd                    SSD device model                [hdd]
+//   --deadline               Deadline scheduler (no idle class)
+//   --informed-eviction      Duet-aware cache replacement
+//   --frag=<0..1>            fraction of files aged/fragmented [0]
+//   --data-mb=<n>            file-set size                   [512]
+//   --window-s=<n>           experiment window               [18]
+//   --seed=<n>                                               [42]
+//   --rsync                  run the rsync experiment instead
+//   --gc                     run the logfs GC experiment instead
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/harness/calibrate.h"
+#include "src/harness/runner.h"
+
+using namespace duet;
+
+namespace {
+
+bool FlagValue(const char* arg, const char* name, std::string* out) {
+  size_t len = strlen(name);
+  if (strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+void Usage() {
+  fprintf(stderr,
+          "usage: duetsim [--tasks=scrub,backup,defrag] [--duet] [--util=0.5]\n"
+          "               [--personality=webserver|webproxy|fileserver]\n"
+          "               [--coverage=1.0] [--skew] [--ssd] [--deadline]\n"
+          "               [--frag=0.1] [--informed-eviction] [--data-mb=512]\n"
+          "               [--window-s=18] [--seed=42] [--rsync] [--gc]\n");
+  exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  MaintenanceRunConfig config;
+  config.stack = QuickStackConfig();
+  config.tasks = {MaintKind::kScrub};
+  bool run_rsync = false;
+  bool run_gc = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (strcmp(argv[i], "--duet") == 0) {
+      config.use_duet = true;
+    } else if (strcmp(argv[i], "--skew") == 0) {
+      config.skewed = true;
+    } else if (strcmp(argv[i], "--ssd") == 0) {
+      config.stack.device = DeviceKind::kSsd;
+    } else if (strcmp(argv[i], "--deadline") == 0) {
+      config.stack.scheduler = SchedulerKind::kDeadline;
+    } else if (strcmp(argv[i], "--informed-eviction") == 0) {
+      config.informed_eviction = true;
+    } else if (strcmp(argv[i], "--rsync") == 0) {
+      run_rsync = true;
+    } else if (strcmp(argv[i], "--gc") == 0) {
+      run_gc = true;
+    } else if (FlagValue(argv[i], "--personality", &value)) {
+      if (value == "webserver") {
+        config.personality = Personality::kWebserver;
+      } else if (value == "webproxy") {
+        config.personality = Personality::kWebproxy;
+      } else if (value == "fileserver") {
+        config.personality = Personality::kFileserver;
+      } else {
+        Usage();
+      }
+    } else if (FlagValue(argv[i], "--tasks", &value)) {
+      config.tasks.clear();
+      size_t start = 0;
+      while (start < value.size()) {
+        size_t comma = value.find(',', start);
+        if (comma == std::string::npos) {
+          comma = value.size();
+        }
+        std::string task = value.substr(start, comma - start);
+        if (task == "scrub") {
+          config.tasks.push_back(MaintKind::kScrub);
+        } else if (task == "backup") {
+          config.tasks.push_back(MaintKind::kBackup);
+        } else if (task == "defrag") {
+          config.tasks.push_back(MaintKind::kDefrag);
+        } else {
+          Usage();
+        }
+        start = comma + 1;
+      }
+    } else if (FlagValue(argv[i], "--util", &value)) {
+      config.target_util = atof(value.c_str());
+    } else if (FlagValue(argv[i], "--coverage", &value)) {
+      config.coverage = atof(value.c_str());
+    } else if (FlagValue(argv[i], "--frag", &value)) {
+      config.fragmented_fraction = atof(value.c_str());
+    } else if (FlagValue(argv[i], "--data-mb", &value)) {
+      uint64_t mb = strtoull(value.c_str(), nullptr, 10);
+      config.stack.data_bytes = mb * 1024 * 1024;
+      config.stack.capacity_blocks = (config.stack.data_bytes / kPageSize) * 5 / 4;
+      config.stack.cache_pages =
+          std::max<uint64_t>(256, config.stack.data_bytes / kPageSize / 50);
+    } else if (FlagValue(argv[i], "--window-s", &value)) {
+      config.stack.window = Seconds(strtoull(value.c_str(), nullptr, 10));
+    } else if (FlagValue(argv[i], "--seed", &value)) {
+      config.seed = strtoull(value.c_str(), nullptr, 10);
+    } else {
+      Usage();
+    }
+  }
+
+  printf("duetsim: %s on %s, %.0f MiB data, %.0f s window, target util %.0f%%, "
+         "coverage %.0f%%%s%s\n\n",
+         config.use_duet ? "Duet" : "baseline",
+         config.stack.device == DeviceKind::kSsd ? "ssd" : "hdd",
+         static_cast<double>(config.stack.data_bytes) / (1024.0 * 1024),
+         ToSeconds(config.stack.window), config.target_util * 100,
+         config.coverage * 100, config.skewed ? ", skewed" : "",
+         config.stack.scheduler == SchedulerKind::kDeadline ? ", deadline" : "");
+
+  if (run_rsync) {
+    RsyncRunResult r = RunRsync(config.stack, config.personality, config.coverage,
+                                config.skewed, config.use_duet, config.seed);
+    printf("rsync: %s in %.1f s; %llu pages read from disk, %llu saved by cache\n",
+           r.finished ? "finished" : "DID NOT FINISH", ToSeconds(r.runtime),
+           static_cast<unsigned long long>(r.stats.io_read_pages),
+           static_cast<unsigned long long>(r.stats.saved_read_pages));
+    return r.finished ? 0 : 1;
+  }
+  if (run_gc) {
+    GcRunResult r = RunGc(config.stack, config.target_util, config.use_duet,
+                          config.seed, /*ops_per_sec=*/-1, false, config.skewed);
+    printf("gc: %llu segments cleaned, avg %.1f ms; reads %llu disk / %llu cache; "
+           "util %.0f%%\n",
+           static_cast<unsigned long long>(r.segments_cleaned),
+           r.cleaning_time_ms.count() > 0 ? r.cleaning_time_ms.mean() : 0.0,
+           static_cast<unsigned long long>(r.blocks_read),
+           static_cast<unsigned long long>(r.blocks_cached),
+           r.measured_util * 100);
+    return 0;
+  }
+
+  MaintenanceRunResult result = RunMaintenance(config);
+  printf("measured utilization: %.0f%%   workload ops: %llu (%.2f ms avg)\n",
+         result.measured_util * 100,
+         static_cast<unsigned long long>(result.workload_ops),
+         result.workload_latency_ms);
+  for (size_t i = 0; i < config.tasks.size(); ++i) {
+    const TaskStats& s = result.task_stats[i];
+    printf("%-7s %-12s %5.1f%% done | io %llu pages | saved %llu pages\n",
+           MaintKindName(config.tasks[i]),
+           s.finished ? "finished" : "UNFINISHED", 100 * s.CompletionFraction(),
+           static_cast<unsigned long long>(s.TotalIoPages()),
+           static_cast<unsigned long long>(s.saved_read_pages + s.saved_write_pages));
+  }
+  printf("\ncombined: %.0f%% of maintenance I/O saved, %.0f%% of work completed\n",
+         100 * result.IoSavedFraction(), 100 * result.WorkCompletedFraction());
+  printf("duet: %llu hook invocations, %llu items fetched, %llu descriptors "
+         "dropped\n",
+         static_cast<unsigned long long>(result.duet_stats.hook_invocations),
+         static_cast<unsigned long long>(result.duet_stats.items_fetched),
+         static_cast<unsigned long long>(result.duet_stats.events_dropped));
+  return result.all_finished ? 0 : 1;
+}
