@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/fault/fault_injector.h"
+
 namespace duet {
 
 BlockDevice::BlockDevice(EventLoop* loop, std::unique_ptr<DiskModel> model,
@@ -39,6 +41,10 @@ void BlockDevice::TryDispatch() {
     ++in_flight_;
     IoRequest req = std::move(*decision.request);
     SimDuration service = model_->ServiceTime(req.block, req.count, req.dir, head_);
+    if (injector_ != nullptr) {
+      service += injector_->ExtraLatency(req.block, req.count,
+                                         req.dir == IoDir::kRead, loop_->now());
+    }
     loop_->ScheduleAfter(service, [this, r = std::move(req), service]() mutable {
       Complete(std::move(r), service);
     });
@@ -68,8 +74,22 @@ void BlockDevice::Complete(IoRequest request, SimDuration service_time) {
   }
   busy_ = false;
   --in_flight_;
+  IoResult result;
+  if (injector_ != nullptr && request.consult_faults && request.dir == IoDir::kRead) {
+    result.status = injector_->OnRead(request.block, request.count, loop_->now(),
+                                      &result.failed_blocks);
+    if (!result.status.ok()) {
+      ++stats_.failed_requests;
+      stats_.failed_block_reads += result.failed_blocks.size();
+    }
+  }
   if (request.done) {
-    request.done();
+    request.done(result);
+  }
+  // After the client applied the write (checksums updated in `done`), let the
+  // injector clear rewritten sectors' faults and apply armed torn writes.
+  if (injector_ != nullptr && request.dir == IoDir::kWrite) {
+    injector_->OnWriteApplied(request.block, request.count, loop_->now());
   }
   TryDispatch();
 }

@@ -15,12 +15,18 @@
 
 namespace duet {
 
+class FaultInjector;
+
 struct DeviceStats {
   // Indexed by [IoClass][IoDir].
   uint64_t ops[2][2] = {{0, 0}, {0, 0}};
   uint64_t blocks[2][2] = {{0, 0}, {0, 0}};
   // Device busy time attributable to each class.
   SimDuration busy[2] = {0, 0};
+  // Requests that completed with an error (injected faults).
+  uint64_t failed_requests = 0;
+  // Individual block reads that failed (latent sector errors).
+  uint64_t failed_block_reads = 0;
 
   uint64_t TotalOps(IoClass c) const {
     return ops[static_cast<int>(c)][0] + ops[static_cast<int>(c)][1];
@@ -38,6 +44,12 @@ class BlockDevice {
 
   // Queues a request; `request.done` fires when the device completes it.
   void Submit(IoRequest request);
+
+  // Attaches the error model. The injector is consulted on every dispatch
+  // (latency spikes) and completion (read failures, torn-write application).
+  // Pass nullptr to detach. Not owned; must outlive the device's I/O.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
 
   const DeviceStats& stats() const { return stats_; }
   const DiskModel& model() const { return *model_; }
@@ -61,6 +73,7 @@ class BlockDevice {
   EventLoop* loop_;
   std::unique_ptr<DiskModel> model_;
   std::unique_ptr<IoScheduler> scheduler_;
+  FaultInjector* injector_ = nullptr;
 
   bool busy_ = false;
   uint64_t in_flight_ = 0;

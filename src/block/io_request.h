@@ -2,10 +2,13 @@
 #ifndef SRC_BLOCK_IO_REQUEST_H_
 #define SRC_BLOCK_IO_REQUEST_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "src/sim/time.h"
+#include "src/util/status.h"
 #include "src/util/types.h"
 
 namespace duet {
@@ -17,13 +20,34 @@ enum class IoDir { kRead = 0, kWrite = 1 };
 // their I/O at Idle priority (§6.1.3).
 enum class IoClass { kBestEffort = 0, kIdle = 1 };
 
+// Completion status of a request. The device is not assumed perfect: with a
+// FaultInjector attached, reads can fail for individual sectors (kIoError,
+// with the bad blocks listed) or as a whole, retryably (kBusy, transient).
+struct IoResult {
+  Status status;
+  // Blocks whose read failed (latent sector errors), ascending. Data for
+  // these blocks was NOT transferred; the rest of the request completed.
+  std::vector<BlockNo> failed_blocks;
+
+  bool ok() const { return status.ok(); }
+  bool BlockFailed(BlockNo block) const {
+    return std::binary_search(failed_blocks.begin(), failed_blocks.end(), block);
+  }
+};
+
 struct IoRequest {
   BlockNo block = 0;       // first block
   uint32_t count = 1;      // number of contiguous blocks
   IoDir dir = IoDir::kRead;
   IoClass io_class = IoClass::kBestEffort;
-  // Invoked when the device completes the request (virtual time advanced).
-  std::function<void()> done;
+  // When false, the fault injector is not consulted for this request. Used
+  // for reads of redundant copies (cowfs DUP mirror), which live at a
+  // different physical location than the primary block number addressing
+  // them; their service time is still modeled.
+  bool consult_faults = true;
+  // Invoked when the device completes the request (virtual time advanced),
+  // with the completion status.
+  std::function<void(const IoResult&)> done;
 };
 
 }  // namespace duet

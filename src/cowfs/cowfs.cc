@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/fault/fault_injector.h"
 #include "src/util/crc32c.h"
 
 namespace duet {
@@ -14,7 +15,10 @@ CowFs::CowFs(EventLoop* loop, BlockDevice* device, uint64_t cache_pages,
     : FileSystem(loop, device, cache_pages, wb_params),
       allocated_(device->capacity_blocks()),
       refcount_(device->capacity_blocks(), 0),
-      disk_csum_(device->capacity_blocks(), 0) {}
+      // A fresh device holds token 0 everywhere; checksums must agree, or
+      // every allocated-but-never-flushed block would read as corrupt.
+      disk_csum_(device->capacity_blocks(), TokenChecksum(0)),
+      mirror_data_(device->capacity_blocks(), 0) {}
 
 uint32_t CowFs::TokenChecksum(uint64_t token) {
   return Crc32c(&token, sizeof(token));
@@ -24,8 +28,15 @@ bool CowFs::BlockChecksumOk(BlockNo block) const {
   return disk_csum_[block] == TokenChecksum(disk_data_[block]);
 }
 
-void CowFs::CorruptBlock(BlockNo block) {
-  disk_data_[block] ^= 0xdeadbeefcafef00dULL;
+void CowFs::CorruptBlock(BlockNo block, bool also_mirror) {
+  InjectCorruption(block, also_mirror);
+}
+
+void CowFs::InjectCorruption(BlockNo block, bool both_copies) {
+  FileSystem::InjectCorruption(block, both_copies);
+  if (both_copies) {
+    mirror_data_[block] ^= 0xdeadbeefcafef00dULL;
+  }
 }
 
 Result<BlockNo> CowFs::AllocBlock(BlockNo hint) {
@@ -106,6 +117,9 @@ void CowFs::FreeFileBlocks(InodeNo ino) {
 Status CowFs::OnDiskBlockRead(BlockNo block, uint64_t token) {
   if (allocated_.Test(block) && disk_csum_[block] != TokenChecksum(token)) {
     ++checksum_errors_detected_;
+    if (injector_ != nullptr) {
+      injector_->NoteCorruptionDetected(block);
+    }
     return Status(StatusCode::kCorruption, "checksum mismatch");
   }
   return Status::Ok();
@@ -114,6 +128,7 @@ Status CowFs::OnDiskBlockRead(BlockNo block, uint64_t token) {
 void CowFs::OnBlockFlushed(BlockNo block, uint64_t token) {
   FileSystem::OnBlockFlushed(block, token);
   disk_csum_[block] = TokenChecksum(token);
+  mirror_data_[block] = token;
 }
 
 std::optional<BlockNo> CowFs::NextAllocated(BlockNo from) const {
@@ -155,15 +170,40 @@ void CowFs::ReadRawBlocks(BlockNo start, uint32_t count, IoClass io_class,
     req.io_class = io_class;
     ++result->device_ops;
     req.done = [this, run_start, run_count, populate_cache, result, outstanding,
-                cb_shared] {
+                cb_shared](const IoResult& io) {
+      if (io.status.code() == StatusCode::kBusy) {
+        // Transient whole-request failure: nothing was transferred.
+        result->status = io.status;
+        if (--*outstanding == 0) {
+          std::sort(result->bad_blocks.begin(), result->bad_blocks.end());
+          (*cb_shared)(*result);
+        }
+        return;
+      }
       for (BlockNo b = run_start; b < run_start + run_count; ++b) {
         ++result->blocks_read;
-        if (allocated_.Test(b) && !BlockChecksumOk(b)) {
+        bool verified = false;
+        if (io.BlockFailed(b)) {
+          // Latent sector error: the medium returned EIO, no data came back.
+          ++result->read_errors;
+          result->bad_blocks.push_back(b);
+          result->status = io.status;
+        } else if (allocated_.Test(b) && !BlockChecksumOk(b)) {
           ++result->checksum_errors;
           ++checksum_errors_detected_;
-          result->status = Status(StatusCode::kCorruption, "checksum mismatch");
+          result->bad_blocks.push_back(b);
+          if (injector_ != nullptr) {
+            injector_->NoteCorruptionDetected(b);
+          }
+          if (result->status.ok()) {
+            result->status = Status(StatusCode::kCorruption, "checksum mismatch");
+          }
+        } else {
+          verified = true;
         }
-        if (populate_cache) {
+        // Only verified content may enter the page cache; caching a corrupt
+        // or unread token would mask the fault from every later reader.
+        if (populate_cache && verified) {
           Result<BlockOwner> owner = Rmap(b);
           if (owner.ok() && !cache_.Contains(owner->ino, owner->idx)) {
             cache_.Insert(owner->ino, owner->idx, disk_data_[b], /*dirty=*/false);
@@ -171,11 +211,107 @@ void CowFs::ReadRawBlocks(BlockNo start, uint32_t count, IoClass io_class,
         }
       }
       if (--*outstanding == 0) {
+        std::sort(result->bad_blocks.begin(), result->bad_blocks.end());
         (*cb_shared)(*result);
       }
     };
     device_->Submit(std::move(req));
   }
+}
+
+// Sequential repair state machine. Faults are rare, so one block at a time
+// keeps the logic (and the virtual-time ordering) simple and deterministic.
+struct CowFs::RepairJob {
+  std::vector<BlockNo> blocks;
+  size_t next = 0;
+  IoClass io_class = IoClass::kIdle;
+  RepairResult result;
+  std::function<void(const RepairResult&)> cb;
+};
+
+void CowFs::RepairBlocks(std::vector<BlockNo> blocks, IoClass io_class,
+                         std::function<void(const RepairResult&)> cb) {
+  std::sort(blocks.begin(), blocks.end());
+  blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+  auto job = std::make_shared<RepairJob>();
+  job->blocks = std::move(blocks);
+  job->io_class = io_class;
+  job->cb = std::move(cb);
+  RepairNext(std::move(job));
+}
+
+void CowFs::RepairNext(std::shared_ptr<RepairJob> job) {
+  while (job->next < job->blocks.size()) {
+    BlockNo block = job->blocks[job->next++];
+    if (!allocated_.Test(block)) {
+      // Freed (COW) since it was reported bad; nothing left to repair.
+      continue;
+    }
+    ++job->result.attempted;
+    const uint32_t want = disk_csum_[block];
+
+    // Source 1: a clean cached page whose content matches the stored
+    // checksum — repair costs one write, no read.
+    Result<BlockOwner> owner = Rmap(block);
+    if (owner.ok()) {
+      const CachedPage* page = cache_.Peek(owner->ino, owner->idx);
+      if (page != nullptr && !page->dirty && TokenChecksum(page->data) == want) {
+        ++job->result.repaired_from_cache;
+        WriteRepair(std::move(job), block, page->data);
+        return;
+      }
+    }
+
+    // Source 2: the DUP mirror copy, if intact — one read plus one write.
+    if (TokenChecksum(mirror_data_[block]) == want) {
+      ++job->result.device_reads;
+      IoRequest req;
+      req.block = block;
+      req.count = 1;
+      req.dir = IoDir::kRead;
+      req.io_class = job->io_class;
+      req.consult_faults = false;  // mirror lives elsewhere on the platter
+      req.done = [this, job = std::move(job), block](const IoResult&) mutable {
+        // Re-check: the block may have been freed or COWed away while the
+        // mirror read was queued. Note a latent-error block's simulated
+        // token can look intact (the failure is in readability), so the
+        // rewrite proceeds whenever the mirror still matches the checksum.
+        if (allocated_.Test(block) &&
+            TokenChecksum(mirror_data_[block]) == disk_csum_[block]) {
+          ++job->result.repaired_from_mirror;
+          WriteRepair(std::move(job), block, mirror_data_[block]);
+        } else {
+          RepairNext(std::move(job));
+        }
+      };
+      device_->Submit(std::move(req));
+      return;
+    }
+
+    // No intact copy anywhere: data loss.
+    ++job->result.unrecoverable;
+    if (injector_ != nullptr) {
+      injector_->NoteUnrecoverable(block);
+    }
+  }
+  loop_->ScheduleAfter(0, [job = std::move(job)] { job->cb(job->result); });
+}
+
+void CowFs::WriteRepair(std::shared_ptr<RepairJob> job, BlockNo block,
+                        uint64_t token) {
+  ++job->result.device_writes;
+  IoRequest req;
+  req.block = block;
+  req.count = 1;
+  req.dir = IoDir::kWrite;
+  req.io_class = job->io_class;
+  req.done = [this, job = std::move(job), block, token](const IoResult&) mutable {
+    // Persist the healed content; the injector observes the rewrite (via
+    // OnWriteApplied after this callback) and counts the fault repaired.
+    OnBlockFlushed(block, token);
+    RepairNext(std::move(job));
+  };
+  device_->Submit(std::move(req));
 }
 
 Result<SnapshotId> CowFs::CreateSnapshot() {
@@ -391,7 +527,7 @@ void CowFs::DefragFile(InodeNo ino, IoClass io_class,
       req.io_class = io_class;
       uint64_t first_page = base_page;
       req.done = [this, ino, start = start, count = count, first_page, tokens, result,
-                  outstanding, finish] {
+                  outstanding, finish](const IoResult&) {
         for (uint32_t k = 0; k < count; ++k) {
           PageIdx p = first_page + k;
           OnBlockFlushed(start + k, tokens[p]);

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -45,8 +46,12 @@ class CowFs : public FileSystem {
   // Verifies the on-disk copy of `block` against its stored checksum.
   bool BlockChecksumOk(BlockNo block) const;
   // Flips on-disk bits without updating the checksum (failure injection).
-  void CorruptBlock(BlockNo block);
+  // With `also_mirror`, the DUP mirror copy is corrupted too, making the
+  // block unrecoverable by RepairBlocks.
+  void CorruptBlock(BlockNo block, bool also_mirror = false);
   uint64_t checksum_errors_detected() const { return checksum_errors_detected_; }
+  // DUP mirror copy of `block` (tests).
+  uint64_t MirrorToken(BlockNo block) const { return mirror_data_[block]; }
 
   // ---- Raw block reads (scrubber; backup's unshared blocks) ----
   // Reads `count` blocks at `start` from the device, verifying checksums of
@@ -57,6 +62,27 @@ class CowFs : public FileSystem {
   void ReadRawBlocks(BlockNo start, uint32_t count, IoClass io_class,
                      bool populate_cache,
                      std::function<void(const RawReadResult&)> cb);
+
+  // ---- Repair (scrubber error path) ----
+  // Outcome of a RepairBlocks call.
+  struct RepairResult {
+    uint64_t attempted = 0;
+    uint64_t repaired_from_cache = 0;   // clean cached page matched the csum
+    uint64_t repaired_from_mirror = 0;  // DUP mirror copy matched the csum
+    uint64_t unrecoverable = 0;         // no intact copy available
+    uint64_t device_reads = 0;          // mirror reads issued
+    uint64_t device_writes = 0;         // repair rewrites issued
+    uint64_t repaired() const { return repaired_from_cache + repaired_from_mirror; }
+  };
+
+  // Attempts to repair `blocks` (bad checksum or unreadable): picks an intact
+  // copy — a clean cached page whose token matches the stored checksum, else
+  // the DUP mirror copy if its checksum matches — and rewrites the primary
+  // block with it at `io_class`. Blocks with no intact copy are reported
+  // unrecoverable (and to the fault injector, if attached). Blocks processed
+  // sequentially; `cb` fires once all are done.
+  void RepairBlocks(std::vector<BlockNo> blocks, IoClass io_class,
+                    std::function<void(const RepairResult&)> cb);
 
   // ---- Allocation map queries (scrubber traversal) ----
   bool IsAllocated(BlockNo block) const { return allocated_.Test(block); }
@@ -117,8 +143,14 @@ class CowFs : public FileSystem {
   void FreeFileBlocks(InodeNo ino) override;
   Status OnDiskBlockRead(BlockNo block, uint64_t token) override;
   void OnBlockFlushed(BlockNo block, uint64_t token) override;
+  void InjectCorruption(BlockNo block, bool both_copies) override;
+  bool BlockInUse(BlockNo block) const override { return allocated_.Test(block); }
 
  private:
+  struct RepairJob;
+  void RepairNext(std::shared_ptr<RepairJob> job);
+  void WriteRepair(std::shared_ptr<RepairJob> job, BlockNo block, uint64_t token);
+
   // Allocates one free block, next-fit from `hint`.
   Result<BlockNo> AllocBlock(BlockNo hint);
   // Allocates `n` contiguous free blocks; falls back to the longest runs
@@ -130,6 +162,11 @@ class CowFs : public FileSystem {
   Bitmap allocated_;
   std::vector<uint32_t> refcount_;
   std::vector<uint32_t> disk_csum_;
+  // DUP profile: a second physical copy of each block, kept in sync by
+  // OnBlockFlushed. Repair reads it (one device read) when the primary is
+  // corrupt; reading it does not consult the fault injector since it lives
+  // at a different physical location.
+  std::vector<uint64_t> mirror_data_;
   BlockNo alloc_cursor_ = 0;
   SnapshotId next_snapshot_id_ = 1;
   std::unordered_map<SnapshotId, Snapshot> snapshots_;

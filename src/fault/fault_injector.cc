@@ -1,0 +1,168 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace duet {
+
+FaultInjector::FaultInjector(EventLoop* loop, FaultPlan plan)
+    : loop_(loop), plan_(std::move(plan)) {
+  assert(loop_ != nullptr);
+}
+
+void FaultInjector::SetCorruptionSink(std::function<void(BlockNo, bool)> sink) {
+  sink_ = std::move(sink);
+}
+
+void FaultInjector::SetTargetFilter(std::function<bool(BlockNo)> filter) {
+  filter_ = std::move(filter);
+}
+
+void FaultInjector::Start() {
+  assert(!started_);
+  started_ = true;
+  for (const FaultEvent& event : plan_.events()) {
+    loop_->ScheduleAt(event.at, [this, event] { Activate(event); });
+  }
+}
+
+void FaultInjector::Activate(const FaultEvent& event) {
+  switch (event.kind) {
+    case kFaultLatent:
+    case kFaultBitRot: {
+      if ((filter_ && !filter_(event.block)) || active_.count(event.block) != 0) {
+        ++stats_.skipped;
+        return;
+      }
+      active_[event.block] = ActiveFault{event.kind, loop_->now(), false, false};
+      ++stats_.injected;
+      if (event.kind == kFaultBitRot && sink_) {
+        sink_(event.block, event.both_copies);
+      }
+      break;
+    }
+    case kFaultTornWrite:
+      // Materializes when (and if) a write covers the block.
+      if (armed_torn_.emplace(event.block, loop_->now()).second) {
+        ++stats_.torn_armed;
+      }
+      break;
+    case kFaultTransient:
+      transients_.push_back(TransientWindow{
+          event.block, event.span, loop_->now() + plan_.config().transient_duration,
+          plan_.config().transient_latency});
+      ++stats_.transient_windows;
+      break;
+    default:
+      break;
+  }
+}
+
+SimDuration FaultInjector::ExtraLatency(BlockNo block, uint32_t count, bool is_read,
+                                        SimTime now) {
+  if (!is_read || transients_.empty()) {
+    return 0;
+  }
+  SimDuration extra = 0;
+  for (const TransientWindow& w : transients_) {
+    if (now < w.until && block < w.start + w.span && w.start < block + count) {
+      extra = std::max(extra, w.latency);
+    }
+  }
+  return extra;
+}
+
+Status FaultInjector::OnRead(BlockNo block, uint32_t count, SimTime now,
+                             std::vector<BlockNo>* failed) {
+  // Transient windows fail the whole request, retryably. Expired windows are
+  // pruned here, the only place that scans them on the hot path.
+  if (!transients_.empty()) {
+    std::erase_if(transients_, [now](const TransientWindow& w) { return now >= w.until; });
+    for (const TransientWindow& w : transients_) {
+      if (block < w.start + w.span && w.start < block + count) {
+        ++stats_.transient_failures;
+        return Status(StatusCode::kBusy, "transient read timeout");
+      }
+    }
+  }
+  Status status = Status::Ok();
+  for (BlockNo b = block; b < block + count; ++b) {
+    auto it = active_.find(b);
+    if (it == active_.end() || it->second.kind != kFaultLatent) {
+      continue;
+    }
+    if (failed != nullptr) {
+      failed->push_back(b);
+    }
+    ++stats_.read_errors;
+    if (!it->second.detected) {
+      it->second.detected = true;
+      ++stats_.detected;
+      stats_.total_detect_latency += now - it->second.injected_at;
+    }
+    status = Status(StatusCode::kIoError, "latent sector error");
+  }
+  return status;
+}
+
+void FaultInjector::ResolveFault(BlockNo block, bool via_rewrite) {
+  auto it = active_.find(block);
+  if (it == active_.end()) {
+    return;
+  }
+  if (it->second.detected) {
+    ++stats_.repaired;
+  } else {
+    ++stats_.masked;
+  }
+  (void)via_rewrite;
+  active_.erase(it);
+}
+
+void FaultInjector::OnWriteApplied(BlockNo block, uint32_t count, SimTime now) {
+  for (BlockNo b = block; b < block + count; ++b) {
+    // Rewriting the sector replaces its content: the active fault is gone.
+    ResolveFault(b, /*via_rewrite=*/true);
+    // An armed torn write corrupts the freshly persisted content.
+    auto torn = armed_torn_.find(b);
+    if (torn != armed_torn_.end()) {
+      armed_torn_.erase(torn);
+      active_[b] = ActiveFault{kFaultTornWrite, now, false, false};
+      ++stats_.injected;
+      if (sink_) {
+        sink_(b, /*both_copies=*/false);
+      }
+    }
+  }
+}
+
+void FaultInjector::NoteCorruptionDetected(BlockNo block) {
+  auto it = active_.find(block);
+  if (it == active_.end() || it->second.detected) {
+    return;  // not one of ours (manual test hook) or already counted
+  }
+  it->second.detected = true;
+  ++stats_.detected;
+  stats_.total_detect_latency += loop_->now() - it->second.injected_at;
+}
+
+void FaultInjector::NoteUnrecoverable(BlockNo block) {
+  auto it = active_.find(block);
+  if (it == active_.end() || it->second.unrecoverable) {
+    return;
+  }
+  it->second.unrecoverable = true;
+  ++stats_.unrecoverable;
+}
+
+void FaultInjector::OnBlockFreed(BlockNo block) {
+  // A freed block no longer backs live data; its fault cannot surface again.
+  ResolveFault(block, /*via_rewrite=*/false);
+}
+
+bool FaultInjector::HasActiveFault(BlockNo block) const {
+  return active_.count(block) != 0;
+}
+
+}  // namespace duet

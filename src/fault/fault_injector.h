@@ -1,0 +1,134 @@
+// Replayable fault injection: arms a FaultPlan against the event loop and
+// serves as the block device's error model.
+//
+// Lifecycle of a fault:
+//  * latent sector error — the block becomes unreadable at its scheduled
+//    time; every read of it fails (detection happens at the device) until a
+//    write rewrites the sector (disk firmware remap semantics);
+//  * silent bit rot — the on-disk content is flipped through the corruption
+//    sink without touching the stored checksum; only a checksum verification
+//    on a later read detects it;
+//  * torn write — armed at its scheduled time; the next write that covers
+//    the block persists corrupt content (checksum of the intended data,
+//    garbage on the platter);
+//  * transient — a region of the device fails reads with kBusy and adds a
+//    latency spike for a bounded window; callers are expected to retry.
+//
+// Every fault is tracked from injection to resolution, producing the
+// harness metrics: detected / repaired / masked / unrecoverable counts and
+// mean time to detect (MTTD).
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+#include "src/sim/event_loop.h"
+#include "src/util/status.h"
+
+namespace duet {
+
+struct FaultStats {
+  uint64_t injected = 0;       // latent/rot activated + torn actually applied
+  uint64_t skipped = 0;        // activation hit a block not in use
+  uint64_t torn_armed = 0;     // torn events waiting for a write
+  uint64_t transient_windows = 0;
+  uint64_t detected = 0;       // surfaced via read failure or checksum
+  uint64_t repaired = 0;       // detected, then cleared by a rewrite/free
+  uint64_t masked = 0;         // cleared by a rewrite/free before detection
+  uint64_t unrecoverable = 0;  // detected, no good copy to repair from
+  uint64_t read_errors = 0;        // block reads failed with kIoError
+  uint64_t transient_failures = 0; // requests failed with kBusy
+  SimDuration total_detect_latency = 0;
+
+  uint64_t Undetected() const {
+    uint64_t resolved = detected + masked;
+    return injected > resolved ? injected - resolved : 0;
+  }
+  double MeanTimeToDetectSeconds() const {
+    return detected == 0 ? 0 : ToSeconds(total_detect_latency) /
+                                   static_cast<double>(detected);
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(EventLoop* loop, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // The sink flips on-disk content without updating the stored checksum.
+  // Registered by the file system (FileSystem::AttachFaultInjector).
+  void SetCorruptionSink(std::function<void(BlockNo, bool both_copies)> sink);
+  // Activation filter: latent/rot events targeting blocks where this returns
+  // false are skipped (e.g. unallocated blocks hold no data to corrupt).
+  void SetTargetFilter(std::function<bool(BlockNo)> filter);
+
+  // Schedules every plan event on the loop. Call once, after the sink and
+  // filter are registered and the initial file set is populated.
+  void Start();
+
+  // ---- Device-side consultation ----
+  // Extra service latency for a request (transient spikes; reads only).
+  SimDuration ExtraLatency(BlockNo block, uint32_t count, bool is_read, SimTime now);
+  // Outcome of reading [block, block+count): kBusy if a transient window
+  // covers the range (whole request fails, retryable), kIoError if any block
+  // has a latent error (failed blocks appended to `failed`, ascending), Ok
+  // otherwise. Latent failures count as detected — the device observed them.
+  Status OnRead(BlockNo block, uint32_t count, SimTime now,
+                std::vector<BlockNo>* failed);
+  // Called after a write to [block, block+count) has been applied by the
+  // file system: rewriting a sector clears its active fault (repaired if it
+  // had been detected, masked otherwise), then any armed torn write for the
+  // range corrupts the freshly written content through the sink.
+  void OnWriteApplied(BlockNo block, uint32_t count, SimTime now);
+
+  // ---- Consumer-side notifications ----
+  // A checksum verification caught corrupt content in `block`.
+  void NoteCorruptionDetected(BlockNo block);
+  // A repair attempt found no good copy; the fault stays active.
+  void NoteUnrecoverable(BlockNo block);
+  // The block was freed (COW rewrite, GC move, unlink): its fault can no
+  // longer serve corrupt data.
+  void OnBlockFreed(BlockNo block);
+
+  bool HasActiveFault(BlockNo block) const;
+  uint64_t active_fault_count() const { return active_.size(); }
+  const FaultStats& stats() const { return stats_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct ActiveFault {
+    uint32_t kind = 0;
+    SimTime injected_at = 0;
+    bool detected = false;
+    bool unrecoverable = false;
+  };
+  struct TransientWindow {
+    BlockNo start = 0;
+    uint32_t span = 1;
+    SimTime until = 0;
+    SimDuration latency = 0;
+  };
+
+  void Activate(const FaultEvent& event);
+  void ResolveFault(BlockNo block, bool via_rewrite);
+
+  EventLoop* loop_;
+  FaultPlan plan_;
+  std::function<void(BlockNo, bool)> sink_;
+  std::function<bool(BlockNo)> filter_;
+  bool started_ = false;
+  std::unordered_map<BlockNo, ActiveFault> active_;
+  std::unordered_map<BlockNo, SimTime> armed_torn_;  // block -> armed at
+  std::vector<TransientWindow> transients_;
+  FaultStats stats_;
+};
+
+}  // namespace duet
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

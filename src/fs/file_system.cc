@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "src/fault/fault_injector.h"
+
 namespace duet {
 
 FileSystem::FileSystem(EventLoop* loop, BlockDevice* device, uint64_t cache_pages,
@@ -27,6 +29,20 @@ void FileSystem::OnBlockFlushed(BlockNo block, uint64_t token) {
   disk_data_[block] = token;
 }
 
+void FileSystem::InjectCorruption(BlockNo block, bool /*both_copies*/) {
+  disk_data_[block] ^= 0xdeadbeefcafef00dULL;
+}
+
+void FileSystem::AttachFaultInjector(FaultInjector* injector) {
+  injector_ = injector;
+  device_->SetFaultInjector(injector);
+  if (injector != nullptr) {
+    injector->SetCorruptionSink(
+        [this](BlockNo block, bool both) { InjectCorruption(block, both); });
+    injector->SetTargetFilter([this](BlockNo block) { return BlockInUse(block); });
+  }
+}
+
 void FileSystem::SetMapping(InodeNo ino, PageIdx idx, BlockNo block) {
   FileMap& map = fmap_[ino];
   if (map.blocks.size() <= idx) {
@@ -41,6 +57,10 @@ void FileSystem::SetMapping(InodeNo ino, PageIdx idx, BlockNo block) {
 void FileSystem::ClearOwner(BlockNo block) {
   if (block != kInvalidBlock) {
     rmap_[block] = BlockOwner{};
+    if (injector_ != nullptr) {
+      // A freed block's fault can no longer serve corrupt data to a reader.
+      injector_->OnBlockFreed(block);
+    }
   }
 }
 
@@ -163,12 +183,30 @@ void FileSystem::Read(InodeNo ino, ByteOff off, uint64_t len, IoClass io_class,
     req.io_class = io_class;
     ++job->result.device_ops;
     ++job->outstanding;
-    req.done = [this, job, run = std::move(run)] {
+    req.done = [this, job, run = std::move(run)](const IoResult& io) {
+      bool whole_request_failed = !io.status.ok() && io.failed_blocks.empty();
       for (const Miss& m : run) {
+        if (whole_request_failed || io.BlockFailed(m.block)) {
+          // No data was transferred for this page. Invalidate any stale
+          // cached copy so the cache cannot mask the failure.
+          ++job->result.pages_failed;
+          cache_.Remove(m.ino, m.idx);
+          if (job->result.status.ok()) {
+            job->result.status = io.status;
+          }
+          continue;
+        }
         uint64_t token = disk_data_[m.block];
         Status verify = OnDiskBlockRead(m.block, token);
-        if (!verify.ok() && job->result.status.ok()) {
-          job->result.status = verify;
+        if (!verify.ok()) {
+          // Corrupt content must not enter the page cache: a later read
+          // would be served the bad token with an OK status.
+          ++job->result.pages_failed;
+          cache_.Remove(m.ino, m.idx);
+          if (job->result.status.ok()) {
+            job->result.status = verify;
+          }
+          continue;
         }
         ++job->result.pages_from_disk;
         cache_.Insert(m.ino, m.idx, token, /*dirty=*/false);
@@ -276,16 +314,27 @@ void FileSystem::ReadBlocks(std::vector<BlockNo> blocks, IoClass io_class,
     req.dir = IoDir::kRead;
     req.io_class = io_class;
     ++result->device_ops;
-    req.done = [this, start = start, count = count, result, outstanding, cb_shared] {
+    req.done = [this, start = start, count = count, result, outstanding,
+                cb_shared](const IoResult& io) {
+      bool whole_request_failed = !io.status.ok() && io.failed_blocks.empty();
       for (BlockNo b = start; b < start + count; ++b) {
+        if (whole_request_failed || io.BlockFailed(b)) {
+          ++result->read_errors;
+          result->bad_blocks.push_back(b);
+          result->status = io.status;
+          continue;
+        }
         ++result->blocks_read;
         Status verify = OnDiskBlockRead(b, disk_data_[b]);
         if (!verify.ok()) {
           ++result->checksum_errors;
+          result->bad_blocks.push_back(b);
           result->status = verify;
         }
       }
       if (--*outstanding == 0) {
+        // Requests may complete out of submission order.
+        std::sort(result->bad_blocks.begin(), result->bad_blocks.end());
         (*cb_shared)(*result);
       }
     };
@@ -341,7 +390,8 @@ void FileSystem::WritebackPages(std::vector<PageCache::DirtyPageRef> pages,
     // Flusher I/O is driven by foreground writes; it competes best-effort.
     req.io_class = IoClass::kBestEffort;
     ++*outstanding;
-    req.done = [this, run = std::move(run), outstanding, all_submitted, done_shared] {
+    req.done = [this, run = std::move(run), outstanding, all_submitted,
+                done_shared](const IoResult&) {
       for (const Flush& f : run) {
         OnBlockFlushed(f.block, f.token);
         const CachedPage* page = cache_.Peek(f.ino, f.idx);

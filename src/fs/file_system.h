@@ -24,6 +24,8 @@
 
 namespace duet {
 
+class FaultInjector;
+
 // Outcome of an asynchronous file-system operation. The per-source page
 // counts let maintenance tasks account I/O performed vs I/O saved.
 struct FsIoResult {
@@ -31,6 +33,7 @@ struct FsIoResult {
   uint64_t pages_requested = 0;
   uint64_t pages_from_cache = 0;  // served without device I/O
   uint64_t pages_from_disk = 0;
+  uint64_t pages_failed = 0;      // device read failed or checksum mismatch
   uint64_t device_ops = 0;        // requests submitted to the device
 };
 
@@ -41,7 +44,11 @@ struct RawReadResult {
   Status status;
   uint64_t blocks_read = 0;
   uint64_t checksum_errors = 0;
+  uint64_t read_errors = 0;  // device-level failures (latent sector errors)
   uint64_t device_ops = 0;
+  // Blocks that failed verification or could not be read, ascending; the
+  // scrubber's repair path consumes this.
+  std::vector<BlockNo> bad_blocks;
 };
 
 class FileSystem : public WritebackTarget {
@@ -122,6 +129,14 @@ class FileSystem : public WritebackTarget {
   virtual Result<InodeNo> PopulateFileAged(std::string_view path, uint64_t bytes,
                                            double break_prob, Rng& rng);
 
+  // ---- Fault injection ----
+  // Wires a fault injector to this stack: the device consults it on every
+  // request, its corruption sink flips this file system's on-disk content,
+  // and its target filter skips blocks not in use. Call before
+  // FaultInjector::Start(). Passing nullptr detaches.
+  void AttachFaultInjector(FaultInjector* injector);
+  FaultInjector* fault_injector() const { return injector_; }
+
   // ---- Introspection ----
   uint64_t allocated_blocks() const { return allocated_blocks_; }
   uint64_t capacity_blocks() const { return disk_data_.size(); }
@@ -154,6 +169,14 @@ class FileSystem : public WritebackTarget {
   // the block checksum, logfs updates segment metadata.
   virtual void OnBlockFlushed(BlockNo block, uint64_t token);
 
+  // Corruption sink for the fault injector (and the CorruptBlock test
+  // hooks): flips the on-disk content of `block` without touching any stored
+  // checksum. cowfs extends it to optionally corrupt the DUP mirror too.
+  virtual void InjectCorruption(BlockNo block, bool both_copies);
+
+  // True if `block` currently holds live data (fault targeting filter).
+  virtual bool BlockInUse(BlockNo /*block*/) const { return true; }
+
   // Forward/reverse map storage shared by both file systems.
   struct FileMap {
     std::vector<BlockNo> blocks;  // page index -> block
@@ -175,6 +198,7 @@ class FileSystem : public WritebackTarget {
   PageCache cache_;
   Namespace ns_;
   Writeback writeback_;
+  FaultInjector* injector_ = nullptr;
 
  private:
   struct ReadJob;

@@ -85,6 +85,22 @@ MaintenanceRunResult RunMaintenance(const MaintenanceRunConfig& config) {
         });
   }
 
+  // Fault injection: generate the deterministic schedule after the file set
+  // is populated (the target filter skips unallocated blocks) and before the
+  // clock starts.
+  std::unique_ptr<FaultInjector> injector;
+  if (config.fault.faults_per_second > 0) {
+    FaultPlanConfig fc = config.fault;
+    if (fc.window == 0) {
+      fc.window = config.stack.window;
+    }
+    injector = std::make_unique<FaultInjector>(
+        &rig.loop(),
+        FaultPlan::Generate(config.fault_seed, fc, rig.fs().capacity_blocks()));
+    rig.fs().AttachFaultInjector(injector.get());
+    injector->Start();
+  }
+
   // Instantiate the requested maintenance tasks.
   std::unique_ptr<Scrubber> scrub;
   std::unique_ptr<Backup> backup;
@@ -132,6 +148,14 @@ MaintenanceRunResult RunMaintenance(const MaintenanceRunConfig& config) {
   result.duet_stats = rig.duet().stats();
   result.workload_ops = rig.workload().stats().ops_completed;
   result.workload_latency_ms = rig.workload().stats().latency_ms.mean();
+  if (injector != nullptr) {
+    result.fault_stats = injector->stats();
+    result.fault_fingerprint = injector->plan().Fingerprint();
+  }
+  if (scrub != nullptr) {
+    result.scrub_repaired = scrub->blocks_repaired();
+    result.scrub_unrecoverable = scrub->blocks_unrecoverable();
+  }
   rig.workload().Stop();
 
   // Stop tasks first: Stop() finalizes accounting (e.g. the scrubber's

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/harness/calibrate.h"
 #include "src/harness/rig.h"
 #include "src/tasks/backup.h"
@@ -38,6 +39,12 @@ struct MaintenanceRunConfig {
   // Pre-calibrated rate (reuse across runs); negative = calibrate here.
   double ops_per_sec = -1;
   bool unthrottled = false;
+  // Fault injection: active when fault.faults_per_second > 0. A window of 0
+  // means "span the whole run" (stack.window). The plan is derived from
+  // fault_seed, independent of the workload seed, so the same failure
+  // scenario replays across baseline/Duet comparisons.
+  FaultPlanConfig fault;
+  uint64_t fault_seed = 1;
 };
 
 struct MaintenanceRunResult {
@@ -48,6 +55,11 @@ struct MaintenanceRunResult {
   DuetStats duet_stats;
   uint64_t workload_ops = 0;
   double workload_latency_ms = 0;
+  // Fault accounting (zero when no injector was configured).
+  FaultStats fault_stats;
+  uint32_t fault_fingerprint = 0;  // FaultPlan::Fingerprint() for replay
+  uint64_t scrub_repaired = 0;
+  uint64_t scrub_unrecoverable = 0;
 
   uint64_t TotalTaskIo() const;
   uint64_t TotalWork() const;     // the without-Duet maintenance I/O

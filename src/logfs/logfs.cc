@@ -4,7 +4,11 @@
 #include <cassert>
 #include <limits>
 #include <memory>
+#include <unordered_set>
 #include <utility>
+
+#include "src/fault/fault_injector.h"
+#include "src/util/crc32c.h"
 
 namespace duet {
 
@@ -12,9 +16,34 @@ LogFs::LogFs(EventLoop* loop, BlockDevice* device, uint64_t cache_pages,
              uint32_t segment_blocks, WritebackParams wb_params)
     : FileSystem(loop, device, cache_pages, wb_params),
       segment_blocks_(segment_blocks),
-      valid_(device->capacity_blocks()) {
+      valid_(device->capacity_blocks()),
+      disk_csum_(device->capacity_blocks(), TokenChecksum(0)) {
   assert(segment_blocks_ > 0);
   sit_.resize((device->capacity_blocks() + segment_blocks_ - 1) / segment_blocks_);
+}
+
+uint32_t LogFs::TokenChecksum(uint64_t token) {
+  return Crc32c(&token, sizeof(token));
+}
+
+bool LogFs::BlockChecksumOk(BlockNo block) const {
+  return disk_csum_[block] == TokenChecksum(disk_data_[block]);
+}
+
+Status LogFs::OnDiskBlockRead(BlockNo block, uint64_t token) {
+  if (valid_.Test(block) && disk_csum_[block] != TokenChecksum(token)) {
+    ++checksum_errors_detected_;
+    if (injector_ != nullptr) {
+      injector_->NoteCorruptionDetected(block);
+    }
+    return Status(StatusCode::kCorruption, "checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+void LogFs::OnBlockFlushed(BlockNo block, uint64_t token) {
+  FileSystem::OnBlockFlushed(block, token);
+  disk_csum_[block] = TokenChecksum(token);
 }
 
 uint64_t LogFs::free_segments() const {
@@ -167,7 +196,11 @@ void LogFs::CleanSegment(SegmentNo seg, IoClass io_class,
   result->segment = seg;
   SimTime started = loop_->now();
   auto finish = [this, cb = std::move(cb), result, started](Status status) {
-    result->status = std::move(status);
+    // Keep an error recorded during the read phase (e.g. a transient kBusy)
+    // over the move phase's final Ok.
+    if (result->status.ok()) {
+      result->status = std::move(status);
+    }
     result->duration = loop_->now() - started;
     loop_->ScheduleAfter(0, [cb, result] { cb(*result); });
   };
@@ -199,12 +232,20 @@ void LogFs::CleanSegment(SegmentNo seg, IoClass io_class,
     return;
   }
 
+  // Blocks whose read failed or whose checksum did not verify. The move
+  // phase leaves them in place: re-appending a bad token would give it a
+  // fresh valid checksum, laundering the corruption.
+  auto bad = std::make_shared<std::unordered_set<BlockNo>>();
+
   // Phase 2 (after reads): re-append every still-valid block to the log and
   // leave its page dirty for asynchronous writeback.
-  auto move_phase = [this, seg, victims = std::move(victims), result, finish] {
+  auto move_phase = [this, seg, victims = std::move(victims), bad, result, finish] {
     for (const Victim& v : victims) {
       if (!valid_.Test(v.block)) {
         continue;  // invalidated while we were reading (foreground write)
+      }
+      if (bad->count(v.block) != 0) {
+        continue;  // unreadable or corrupt; not safe to move
       }
       Result<BlockOwner> owner = Rmap(v.block);
       if (!owner.ok() || owner->ino != v.ino || owner->idx != v.idx) {
@@ -256,9 +297,36 @@ void LogFs::CleanSegment(SegmentNo seg, IoClass io_class,
     req.io_class = io_class;
     ++result->device_ops;
     ++*outstanding;
-    req.done = [this, run = std::move(run), result, outstanding, move_shared] {
+    req.done = [this, run = std::move(run), bad, result, outstanding,
+                move_shared](const IoResult& io) {
+      if (io.status.code() == StatusCode::kBusy) {
+        // Transient whole-request failure: nothing transferred; leave the
+        // run's blocks unmoved and surface the retryable status.
+        result->status = io.status;
+        for (const Victim& v : run) {
+          bad->insert(v.block);
+        }
+        if (--*outstanding == 0) {
+          (*move_shared)();
+        }
+        return;
+      }
       for (const Victim& v : run) {
         ++result->blocks_read_disk;
+        if (io.BlockFailed(v.block)) {
+          ++result->read_errors;
+          bad->insert(v.block);
+          continue;
+        }
+        if (valid_.Test(v.block) && !BlockChecksumOk(v.block)) {
+          ++result->checksum_errors;
+          ++checksum_errors_detected_;
+          bad->insert(v.block);
+          if (injector_ != nullptr) {
+            injector_->NoteCorruptionDetected(v.block);
+          }
+          continue;
+        }
         if (!cache_.Contains(v.ino, v.idx)) {
           cache_.Insert(v.ino, v.idx, disk_data_[v.block], /*dirty=*/false);
         }

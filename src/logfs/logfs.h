@@ -37,6 +37,11 @@ struct CleanResult {
   uint64_t blocks_read_disk = 0;   // synchronous reads the cleaner performed
   uint64_t blocks_from_cache = 0;  // reads saved because blocks were cached
   uint64_t device_ops = 0;
+  // Bad blocks the cleaner refused to move: re-appending a corrupt or
+  // unreadable token would launder it under a fresh checksum. They stay in
+  // place (and keep the segment occupied) until repaired or overwritten.
+  uint64_t checksum_errors = 0;
+  uint64_t read_errors = 0;
   SimDuration duration = 0;        // read phase duration (paper Table 6)
 };
 
@@ -44,6 +49,15 @@ class LogFs : public FileSystem {
  public:
   LogFs(EventLoop* loop, BlockDevice* device, uint64_t cache_pages,
         uint32_t segment_blocks = 512, WritebackParams wb_params = WritebackParams());
+
+  // ---- Checksums ----
+  // Per-block CRC32C over the stored token, updated on every flush. The GC
+  // verifies victims it reads, so cleaning doubles as corruption detection.
+  static uint32_t TokenChecksum(uint64_t token);
+  bool BlockChecksumOk(BlockNo block) const;
+  // Flips on-disk bits without updating the checksum (failure injection).
+  void CorruptBlock(BlockNo block) { InjectCorruption(block, false); }
+  uint64_t checksum_errors_detected() const { return checksum_errors_detected_; }
 
   // ---- Geometry ----
   uint32_t segment_blocks() const { return segment_blocks_; }
@@ -83,6 +97,9 @@ class LogFs : public FileSystem {
  protected:
   Result<BlockNo> AllocateForWrite(InodeNo ino, PageIdx idx, BlockNo old_block) override;
   void FreeFileBlocks(InodeNo ino) override;
+  Status OnDiskBlockRead(BlockNo block, uint64_t token) override;
+  void OnBlockFlushed(BlockNo block, uint64_t token) override;
+  bool BlockInUse(BlockNo block) const override { return valid_.Test(block); }
 
  private:
   // Next block at the log head; opens a new segment when the current one
@@ -94,8 +111,10 @@ class LogFs : public FileSystem {
   uint32_t segment_blocks_;
   std::vector<SegmentInfo> sit_;
   Bitmap valid_;                // block-level liveness
+  std::vector<uint32_t> disk_csum_;  // block -> CRC32C of stored token
   SegmentNo open_segment_ = 0;  // current log head segment
   uint64_t scattered_writes_ = 0;
+  uint64_t checksum_errors_detected_ = 0;
 };
 
 // The two victim-selection policies (paper §5.4):

@@ -153,7 +153,25 @@ void IncrementalBackup::ProcessDiff() {
                       return;
                     }
                     stats_.io_read_pages += result.blocks_read;
+                    if (IsTransient(result.status) &&
+                        batch_retry_ < config_.max_retries) {
+                      // Device busy window: retry the batch with backoff.
+                      ++batch_retry_;
+                      pending_cursor_ = first;
+                      fs_->loop().ScheduleAfter(
+                          config_.retry_backoff * (SimDuration{1} << (batch_retry_ - 1)),
+                          [this] { ProcessDiff(); });
+                      return;
+                    }
+                    batch_retry_ = 0;
                     for (size_t i = first; i < end; ++i) {
+                      // Blocks that failed to read or verify are not
+                      // captured; the next increment retries them.
+                      if (std::binary_search(result.bad_blocks.begin(),
+                                             result.bad_blocks.end(),
+                                             pending_reads_[i].second)) {
+                        continue;
+                      }
                       captured_[pending_reads_[i].first] =
                           fs_->DiskToken(pending_reads_[i].second);
                       ++stats_.work_done;

@@ -29,6 +29,10 @@ struct IncrementalBackupConfig {
   IoClass io_class = IoClass::kIdle;
   size_t fetch_batch = 256;
   SimDuration fetch_interval = Millis(20);
+  // Bounded retry with exponential backoff for transiently-failed batch
+  // reads (device busy windows).
+  uint32_t max_retries = 3;
+  SimDuration retry_backoff = Millis(10);
 };
 
 class IncrementalBackup {
@@ -85,6 +89,7 @@ class IncrementalBackup {
   // Diff worklist for the catch-up pass.
   std::vector<std::pair<PageKey, BlockNo>> pending_reads_;
   size_t pending_cursor_ = 0;
+  uint32_t batch_retry_ = 0;  // consecutive transient retries of this batch
   TaskStats stats_;
   std::function<void()> on_finish_;
 };

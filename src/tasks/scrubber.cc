@@ -19,6 +19,7 @@ void Scrubber::Start(std::function<void()> on_finish) {
   assert(!running_);
   on_finish_ = std::move(on_finish);
   running_ = true;
+  ++epoch_;
   stats_ = TaskStats{};
   stats_.started_at = fs_->loop().now();
   stats_.work_total = fs_->allocated_blocks();
@@ -138,36 +139,93 @@ void Scrubber::ProcessNextChunk() {
     Finish();
     return;
   }
-  // Scrub a chunk starting at `next`, stopping early at done blocks so we
-  // do not re-read data that was already verified.
+  // Scrub a chunk starting at `next`. Done blocks end the chunk only when a
+  // long verified run follows: skipping it saves more transfer time than the
+  // repositioning it costs, while short verified runs are read through to
+  // keep the scan's requests large and sequential.
   BlockNo start = *next;
   uint32_t count = 0;
   BlockNo b = start;
   while (count < config_.chunk_blocks && b < fs_->capacity_blocks()) {
     if (config_.use_duet && duet_->CheckDone(sid_, b)) {
-      break;
+      BlockNo run_end = b;
+      while (run_end < fs_->capacity_blocks() &&
+             run_end - b < config_.skip_run_blocks &&
+             duet_->CheckDone(sid_, run_end)) {
+        ++run_end;
+      }
+      if (run_end - b >= config_.skip_run_blocks) {
+        break;
+      }
+      count += static_cast<uint32_t>(run_end - b);
+      b = run_end;
+      continue;
     }
     ++count;
     ++b;
   }
+  const uint64_t epoch = epoch_;
   fs_->ReadRawBlocks(start, count, config_.io_class, config_.populate_cache,
-                     [this, start, count](const RawReadResult& result) {
-                       if (!running_) {
+                     [this, start, count, epoch](const RawReadResult& result) {
+                       if (!running_ || epoch != epoch_) {
                          return;
                        }
-                       checksum_errors_ += result.checksum_errors;
                        stats_.io_read_pages += result.blocks_read;
+                       if (IsTransient(result.status)) {
+                         if (chunk_retry_ < config_.max_retries) {
+                           // Transient (busy window): retry the same chunk
+                           // after an exponentially growing backoff.
+                           SimDuration backoff =
+                               config_.retry_backoff * (SimDuration{1} << chunk_retry_);
+                           ++chunk_retry_;
+                           ++transient_retries_;
+                           fs_->loop().ScheduleAfter(backoff, [this, epoch] {
+                             if (epoch == epoch_) {
+                               ProcessNextChunk();
+                             }
+                           });
+                           return;
+                         }
+                         // Retry budget exhausted: skip the chunk this pass.
+                         chunk_retry_ = 0;
+                         cursor_ = start + count;
+                         ProcessNextChunk();
+                         return;
+                       }
+                       chunk_retry_ = 0;
+                       checksum_errors_ += result.checksum_errors;
+                       read_errors_ += result.read_errors;
                        stats_.work_done += result.blocks_read;
                        cursor_ = start + count;
-                       if (config_.use_duet) {
-                         // Mark verified blocks so events for them are muted.
-                         for (BlockNo v = start; v < start + count; ++v) {
-                           if (fs_->IsAllocated(v)) {
-                             (void)duet_->SetDone(sid_, v);
+                       auto resume = [this, start, count, epoch] {
+                         if (!running_ || epoch != epoch_) {
+                           return;
+                         }
+                         if (config_.use_duet) {
+                           // Mark verified blocks so events for them are muted.
+                           for (BlockNo v = start; v < start + count; ++v) {
+                             if (fs_->IsAllocated(v)) {
+                               (void)duet_->SetDone(sid_, v);
+                             }
                            }
                          }
+                         ProcessNextChunk();
+                       };
+                       if (config_.repair && !result.bad_blocks.empty()) {
+                         // Rewrite each bad block from an intact copy; blocks
+                         // with no intact copy are reported unrecoverable.
+                         fs_->RepairBlocks(
+                             result.bad_blocks, config_.io_class,
+                             [this, resume](const CowFs::RepairResult& r) {
+                               blocks_repaired_ += r.repaired();
+                               blocks_unrecoverable_ += r.unrecoverable;
+                               stats_.io_read_pages += r.device_reads;
+                               stats_.io_write_pages += r.device_writes;
+                               resume();
+                             });
+                         return;
                        }
-                       ProcessNextChunk();
+                       resume();
                      });
 }
 

@@ -22,6 +22,13 @@ namespace duet {
 struct ScrubberConfig {
   bool use_duet = false;
   uint32_t chunk_blocks = 256;            // blocks per scan request (1 MiB)
+  // Minimum run of already-verified blocks worth skipping. Breaking the scan
+  // at every done block shatters it into tiny requests, and on disk one
+  // repositioning (~1.7 ms) costs as much as reading ~64 blocks — short
+  // verified runs are cheaper to read through than to seek around. The
+  // default sits just under that crossover to bias toward more frequent
+  // re-coverage of unverified data.
+  uint32_t skip_run_blocks = 48;
   IoClass io_class = IoClass::kIdle;      // maintenance runs at idle priority
   size_t fetch_batch = 256;
   // Independent event-poll period (§6.4: tasks fetch many times a second).
@@ -30,6 +37,12 @@ struct ScrubberConfig {
   // Surface scrub reads to the page cache so concurrent tasks can use the
   // same pass (§6.3: scrub and backup accesses benefit each other).
   bool populate_cache = true;
+  // Error handling: rewrite bad blocks from an intact copy (cached page or
+  // the cowfs DUP mirror), and retry chunks that fail transiently (device
+  // busy / latency spike) with exponential backoff before skipping them.
+  bool repair = true;
+  uint32_t max_retries = 3;
+  SimDuration retry_backoff = Millis(10);  // doubles per consecutive retry
 };
 
 class Scrubber {
@@ -45,6 +58,10 @@ class Scrubber {
 
   const TaskStats& stats() const { return stats_; }
   uint64_t checksum_errors() const { return checksum_errors_; }
+  uint64_t read_errors() const { return read_errors_; }
+  uint64_t blocks_repaired() const { return blocks_repaired_; }
+  uint64_t blocks_unrecoverable() const { return blocks_unrecoverable_; }
+  uint64_t transient_retries() const { return transient_retries_; }
 
  private:
   void ProcessNextChunk();
@@ -60,9 +77,20 @@ class Scrubber {
   SessionId sid_ = kInvalidSession;
   BlockNo cursor_ = 0;
   bool running_ = false;
+  // Pass generation. A pass can finish (via the done bitmap) while a chunk
+  // read is still queued at idle priority; if the next pass has started by
+  // the time that completion arrives, `running_` alone would let the stale
+  // callback resume the old cursor and fork a second scan chain. Callbacks
+  // capture the epoch they were issued in and are dropped on mismatch.
+  uint64_t epoch_ = 0;
   bool accounting_final_ = false;
   EventId poll_event_ = kInvalidEvent;
   uint64_t checksum_errors_ = 0;
+  uint64_t read_errors_ = 0;
+  uint64_t blocks_repaired_ = 0;
+  uint64_t blocks_unrecoverable_ = 0;
+  uint64_t transient_retries_ = 0;
+  uint32_t chunk_retry_ = 0;  // consecutive transient retries of this chunk
   TaskStats stats_;
   std::function<void()> on_finish_;
 };

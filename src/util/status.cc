@@ -24,8 +24,14 @@ const char* StatusCodeName(StatusCode code) {
       return "PERMISSION";
     case StatusCode::kNotSupported:
       return "NOT_SUPPORTED";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
   }
   return "UNKNOWN";
+}
+
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kBusy;
 }
 
 }  // namespace duet

@@ -24,7 +24,14 @@ enum class StatusCode {
   kCorruption,      // checksum mismatch or invariant violation detected
   kPermission,      // access denied (EACCES)
   kNotSupported,    // operation not implemented for this object
+  kIoError,         // device-level I/O failure (EIO), e.g. latent sector error
 };
+
+class Status;
+
+// True for failures that a bounded retry-with-backoff may clear (transient
+// device conditions), as opposed to hard errors like corruption.
+bool IsTransient(const Status& status);
 
 // Human-readable name for a status code, for logs and test failures.
 const char* StatusCodeName(StatusCode code);

@@ -33,7 +33,11 @@ IoRequest MakeRequest(BlockNo block, IoClass io_class, std::function<void()> don
   r.count = count;
   r.dir = dir;
   r.io_class = io_class;
-  r.done = std::move(done);
+  r.done = [done = std::move(done)](const IoResult&) {
+    if (done) {
+      done();
+    }
+  };
   return r;
 }
 

@@ -45,7 +45,7 @@ TEST_P(SchedulerPropertyTest, CfqInvariantsHold) {
       req.count = 1;
       req.dir = IoDir::kRead;
       req.io_class = io_class;
-      req.done = [&completions, &loop, my_tag, io_class] {
+      req.done = [&completions, &loop, my_tag, io_class](const IoResult&) {
         completions.push_back(Completion{my_tag, io_class, loop.now()});
       };
       dev.Submit(std::move(req));
@@ -92,7 +92,7 @@ TEST_P(SchedulerPropertyTest, DeadlineIsPureFifo) {
       req.count = 1;
       req.dir = rng.Chance(0.5) ? IoDir::kRead : IoDir::kWrite;
       req.io_class = rng.Chance(0.5) ? IoClass::kBestEffort : IoClass::kIdle;
-      req.done = [&completed, i] { completed.push_back(i); };
+      req.done = [&completed, i](const IoResult&) { completed.push_back(i); };
       dev.Submit(std::move(req));
     });
   }
@@ -117,7 +117,7 @@ TEST_P(SchedulerPropertyTest, IdleStarvationUnderConstantLoad) {
   idle_req.count = 1;
   idle_req.dir = IoDir::kRead;
   idle_req.io_class = IoClass::kIdle;
-  idle_req.done = [&] { idle_completed = true; };
+  idle_req.done = [&](const IoResult&) { idle_completed = true; };
   dev.Submit(std::move(idle_req));
   // Best-effort arrivals every 1-3 ms for 200 ms (gap always < 5 ms grace).
   SimTime t = 0;

@@ -244,5 +244,72 @@ TEST_F(CowFsTest, RefcountsTrackSharing) {
   EXPECT_EQ(fs_.BlockRefcount(b), 1u);
 }
 
+// Regression: corrupting the disk copy of a page that is currently cached
+// must not be masked forever. The cached (clean) copy may serve reads while
+// it lives, but once evicted the next read goes to disk and must detect the
+// corruption — and the failed read must not re-populate the cache.
+TEST_F(CowFsTest, CorruptionOfCachedBlockDetectedAfterEviction) {
+  InodeNo ino = MakeFile("/f", 4);
+  // Warm the cache with the whole file.
+  fs_.Read(ino, 0, 4 * kPageSize, IoClass::kBestEffort, nullptr);
+  rig_.loop.Run();
+  ASSERT_TRUE(fs_.cache().Contains(ino, 2));
+
+  BlockNo victim = *fs_.Bmap(ino, 2);
+  fs_.CorruptBlock(victim);
+
+  // While cached, reads are served from the intact in-memory copy.
+  Status cached_read;
+  fs_.Read(ino, 0, 4 * kPageSize, IoClass::kBestEffort,
+           [&](const FsIoResult& r) { cached_read = r.status; });
+  rig_.loop.Run();
+  EXPECT_TRUE(cached_read.ok());
+  EXPECT_EQ(fs_.checksum_errors_detected(), 0u);
+
+  // Evict, then re-read: the disk copy must fail verification.
+  ASSERT_TRUE(fs_.cache().Remove(ino, 2));
+  Status disk_read;
+  fs_.Read(ino, 0, 4 * kPageSize, IoClass::kBestEffort,
+           [&](const FsIoResult& r) { disk_read = r.status; });
+  rig_.loop.Run();
+  EXPECT_EQ(disk_read.code(), StatusCode::kCorruption);
+  EXPECT_EQ(fs_.checksum_errors_detected(), 1u);
+  // The corrupt content must not have been cached.
+  EXPECT_FALSE(fs_.cache().Contains(ino, 2));
+
+  // Still detectable on every later read (nothing laundered the fault).
+  Status third_read;
+  fs_.Read(ino, 2 * kPageSize, kPageSize, IoClass::kBestEffort,
+           [&](const FsIoResult& r) { third_read = r.status; });
+  rig_.loop.Run();
+  EXPECT_EQ(third_read.code(), StatusCode::kCorruption);
+  EXPECT_EQ(fs_.checksum_errors_detected(), 2u);
+}
+
+// RepairBlocks rewrites a corrupt block from the DUP mirror when no clean
+// cached copy exists, and reports unrecoverable when both copies rotted.
+TEST_F(CowFsTest, RepairBlocksUsesMirrorThenReportsUnrecoverable) {
+  InodeNo ino = MakeFile("/f", 4);
+  BlockNo fixable = *fs_.Bmap(ino, 1);
+  BlockNo doomed = *fs_.Bmap(ino, 3);
+  fs_.CorruptBlock(fixable);                     // mirror stays intact
+  fs_.CorruptBlock(doomed, /*also_mirror=*/true);
+
+  CowFs::RepairResult result;
+  bool done = false;
+  fs_.RepairBlocks({fixable, doomed}, IoClass::kBestEffort,
+                   [&](const CowFs::RepairResult& r) {
+                     result = r;
+                     done = true;
+                   });
+  rig_.loop.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.attempted, 2u);
+  EXPECT_EQ(result.repaired_from_mirror, 1u);
+  EXPECT_EQ(result.unrecoverable, 1u);
+  EXPECT_TRUE(fs_.BlockChecksumOk(fixable));
+  EXPECT_FALSE(fs_.BlockChecksumOk(doomed));
+}
+
 }  // namespace
 }  // namespace duet

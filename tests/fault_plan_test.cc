@@ -1,0 +1,111 @@
+#include "src/fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace duet {
+namespace {
+
+FaultPlanConfig BaseConfig() {
+  FaultPlanConfig config;
+  config.kinds = kFaultAllKinds;
+  config.faults_per_second = 5.0;
+  config.window = Seconds(20);
+  config.rot_both_copies_fraction = 0.25;
+  return config;
+}
+
+TEST(FaultPlanTest, SameSeedSameConfigIsByteIdentical) {
+  FaultPlanConfig config = BaseConfig();
+  FaultPlan a = FaultPlan::Generate(123, config, 100'000);
+  FaultPlan b = FaultPlan::Generate(123, config, 100'000);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  EXPECT_FALSE(a.empty());
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i], b.events()[i]) << "event " << i;
+  }
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(FaultPlanTest, DifferentSeedsDiverge) {
+  FaultPlanConfig config = BaseConfig();
+  FaultPlan a = FaultPlan::Generate(1, config, 100'000);
+  FaultPlan b = FaultPlan::Generate(2, config, 100'000);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(FaultPlanTest, ConfigChangesDiverge) {
+  FaultPlanConfig config = BaseConfig();
+  FaultPlan a = FaultPlan::Generate(7, config, 100'000);
+  config.kinds = kFaultLatent;
+  FaultPlan b = FaultPlan::Generate(7, config, 100'000);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(FaultPlanTest, EventsAreTimeOrderedWithinWindow) {
+  FaultPlanConfig config = BaseConfig();
+  FaultPlan plan = FaultPlan::Generate(99, config, 100'000);
+  ASSERT_FALSE(plan.empty());
+  SimTime prev = 0;
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_GE(e.at, prev);
+    EXPECT_LT(e.at, static_cast<SimTime>(config.window));
+    prev = e.at;
+  }
+}
+
+TEST(FaultPlanTest, RespectsKindMask) {
+  FaultPlanConfig config = BaseConfig();
+  config.kinds = kFaultLatent | kFaultTransient;
+  FaultPlan plan = FaultPlan::Generate(5, config, 100'000);
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_TRUE(e.kind == kFaultLatent || e.kind == kFaultTransient);
+  }
+}
+
+TEST(FaultPlanTest, RespectsBlockRange) {
+  FaultPlanConfig config = BaseConfig();
+  config.kinds = kFaultLatent | kFaultBitRot;  // point faults only
+  config.range_lo = 1'000;
+  config.range_hi = 2'000;
+  FaultPlan plan = FaultPlan::Generate(11, config, 100'000);
+  ASSERT_FALSE(plan.empty());
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_GE(e.block, 1'000u);
+    EXPECT_LT(e.block, 2'000u);
+  }
+}
+
+TEST(FaultPlanTest, HotFractionDrawsFromHotSet) {
+  FaultPlanConfig config = BaseConfig();
+  config.kinds = kFaultBitRot;
+  config.hot_blocks = {10, 20, 30};
+  config.hot_fraction = 1.0;
+  FaultPlan plan = FaultPlan::Generate(3, config, 100'000);
+  ASSERT_FALSE(plan.empty());
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_TRUE(e.block == 10 || e.block == 20 || e.block == 30);
+  }
+}
+
+TEST(FaultPlanTest, ZeroRateYieldsEmptyPlan) {
+  FaultPlanConfig config = BaseConfig();
+  config.faults_per_second = 0;
+  FaultPlan plan = FaultPlan::Generate(42, config, 100'000);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.Fingerprint(), 0u);
+}
+
+TEST(FaultPlanTest, FromEventsSortsByTime) {
+  FaultPlanConfig config = BaseConfig();
+  std::vector<FaultEvent> events = {
+      {.at = Seconds(3), .kind = kFaultLatent, .block = 7},
+      {.at = Seconds(1), .kind = kFaultBitRot, .block = 9},
+  };
+  FaultPlan plan = FaultPlan::FromEvents(config, std::move(events));
+  ASSERT_EQ(plan.events().size(), 2u);
+  EXPECT_EQ(plan.events()[0].block, 9u);
+  EXPECT_EQ(plan.events()[1].block, 7u);
+}
+
+}  // namespace
+}  // namespace duet

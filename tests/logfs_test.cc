@@ -229,5 +229,57 @@ TEST_F(LogFsTest, CleaningRacesWithForegroundWrites) {
   }
 }
 
+TEST_F(LogFsTest, ChecksumMismatchDetectedOnRead) {
+  InodeNo ino = MakeFile("/f", 4);
+  fs_.cache().RemoveInode(ino);
+  fs_.CorruptBlock(*fs_.Bmap(ino, 1));
+  Status status;
+  fs_.Read(ino, 0, 4 * kPageSize, IoClass::kBestEffort,
+           [&](const FsIoResult& r) { status = r.status; });
+  rig_.loop.Run();
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(fs_.checksum_errors_detected(), 1u);
+}
+
+// Cleaning doubles as corruption detection: the GC verifies every victim
+// block it reads, and refuses to move a corrupt one — re-appending it to the
+// log head would mint a fresh valid checksum over rotten content.
+TEST_F(LogFsTest, CleanerDetectsCorruptionAndRefusesToMoveIt) {
+  InodeNo ino = MakeFile("/f", 16);
+  WriteSync(ino, 0, 12 * kPageSize);  // 4 valid blocks left in segment 0
+  fs_.cache().RemoveInode(ino);
+  BlockNo bad = *fs_.Bmap(ino, 13);
+  ASSERT_EQ(fs_.SegmentOf(bad), 0u);
+  fs_.CorruptBlock(bad);
+
+  CleanResult result = CleanSync(0);
+  EXPECT_EQ(result.checksum_errors, 1u);
+  EXPECT_EQ(result.blocks_moved, 3u);  // the other three relocated
+  EXPECT_EQ(fs_.checksum_errors_detected(), 1u);
+  // The corrupt block stays where it was, still valid (live but rotten), so
+  // nothing downstream mistakes the segment for empty.
+  EXPECT_EQ(*fs_.Bmap(ino, 13), bad);
+  EXPECT_TRUE(fs_.BlockValid(bad));
+  EXPECT_EQ(fs_.segment(0).valid, 1u);
+  EXPECT_FALSE(fs_.BlockChecksumOk(bad));
+}
+
+TEST_F(LogFsTest, ChecksumFollowsBlockThroughCleaning) {
+  InodeNo ino = MakeFile("/f", 16);
+  WriteSync(ino, 0, 12 * kPageSize);
+  fs_.cache().RemoveInode(ino);
+  CleanResult result = CleanSync(0);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.blocks_moved, 4u);
+  // Flush the relocated pages; the new locations must verify cleanly.
+  fs_.writeback().Sync(nullptr);
+  rig_.loop.Run();
+  for (PageIdx p = 12; p < 16; ++p) {
+    BlockNo b = *fs_.Bmap(ino, p);
+    EXPECT_NE(fs_.SegmentOf(b), 0u);
+    EXPECT_TRUE(fs_.BlockChecksumOk(b));
+  }
+}
+
 }  // namespace
 }  // namespace duet

@@ -24,6 +24,11 @@
 //   --seed=<n>                                               [42]
 //   --rsync                  run the rsync experiment instead
 //   --gc                     run the logfs GC experiment instead
+//
+// Fault injection (off unless --fault-rate > 0):
+//   --fault-rate=<f>         mean faults/second (Poisson)    [0]
+//   --fault-seed=<n>         fault schedule seed             [1]
+//   --fault-kinds=latent,rot,torn,transient  kinds to inject [latent,rot]
 
 #include <cstdio>
 #include <cstdlib>
@@ -52,7 +57,9 @@ void Usage() {
           "               [--personality=webserver|webproxy|fileserver]\n"
           "               [--coverage=1.0] [--skew] [--ssd] [--deadline]\n"
           "               [--frag=0.1] [--informed-eviction] [--data-mb=512]\n"
-          "               [--window-s=18] [--seed=42] [--rsync] [--gc]\n");
+          "               [--window-s=18] [--seed=42] [--rsync] [--gc]\n"
+          "               [--fault-rate=0.5] [--fault-seed=1]\n"
+          "               [--fault-kinds=latent,rot,torn,transient]\n");
   exit(2);
 }
 
@@ -127,10 +134,41 @@ int main(int argc, char** argv) {
       config.stack.window = Seconds(strtoull(value.c_str(), nullptr, 10));
     } else if (FlagValue(argv[i], "--seed", &value)) {
       config.seed = strtoull(value.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--fault-rate", &value)) {
+      config.fault.faults_per_second = atof(value.c_str());
+    } else if (FlagValue(argv[i], "--fault-seed", &value)) {
+      config.fault_seed = strtoull(value.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--fault-kinds", &value)) {
+      config.fault.kinds = 0;
+      size_t start = 0;
+      while (start < value.size()) {
+        size_t comma = value.find(',', start);
+        if (comma == std::string::npos) {
+          comma = value.size();
+        }
+        std::string kind = value.substr(start, comma - start);
+        if (kind == "latent") {
+          config.fault.kinds |= kFaultLatent;
+        } else if (kind == "rot") {
+          config.fault.kinds |= kFaultBitRot;
+        } else if (kind == "torn") {
+          config.fault.kinds |= kFaultTornWrite;
+        } else if (kind == "transient") {
+          config.fault.kinds |= kFaultTransient;
+        } else {
+          Usage();
+        }
+        start = comma + 1;
+      }
+      if (config.fault.kinds == 0) {
+        Usage();
+      }
     } else {
       Usage();
     }
   }
+  // Fault schedules span the whole experiment window.
+  config.fault.window = config.stack.window;
 
   printf("duetsim: %s on %s, %.0f MiB data, %.0f s window, target util %.0f%%, "
          "coverage %.0f%%%s%s\n\n",
@@ -183,5 +221,24 @@ int main(int argc, char** argv) {
          static_cast<unsigned long long>(result.duet_stats.hook_invocations),
          static_cast<unsigned long long>(result.duet_stats.items_fetched),
          static_cast<unsigned long long>(result.duet_stats.events_dropped));
+  if (config.fault.faults_per_second > 0) {
+    const FaultStats& f = result.fault_stats;
+    printf("\nfaults (plan %08x): %llu injected, %llu detected, %llu repaired, "
+           "%llu masked, %llu unrecoverable, %llu undetected\n",
+           result.fault_fingerprint,
+           static_cast<unsigned long long>(f.injected),
+           static_cast<unsigned long long>(f.detected),
+           static_cast<unsigned long long>(f.repaired),
+           static_cast<unsigned long long>(f.masked),
+           static_cast<unsigned long long>(f.unrecoverable),
+           static_cast<unsigned long long>(f.Undetected()));
+    printf("       read errors %llu, transient failures %llu, MTTD %.2f s; "
+           "scrub repaired %llu, unrecoverable %llu\n",
+           static_cast<unsigned long long>(f.read_errors),
+           static_cast<unsigned long long>(f.transient_failures),
+           f.MeanTimeToDetectSeconds(),
+           static_cast<unsigned long long>(result.scrub_repaired),
+           static_cast<unsigned long long>(result.scrub_unrecoverable));
+  }
   return result.all_finished ? 0 : 1;
 }
