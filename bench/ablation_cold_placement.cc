@@ -14,10 +14,14 @@ int main(int argc, char** argv) {
       "physical placement of cold data does not affect the results",
       stack);
 
-  RateTable rates(".duet_rate_cache");
+  RateTable rates(BenchRateCachePath());
   TextTable table({"util", "placement", "I/O saved", "scrub finished",
                    "workload ops"});
-  for (double util : {0.3, 0.5, 0.7}) {
+  std::vector<double> utils{0.3, 0.5, 0.7};
+  if (SmokeMode()) {
+    utils = {0.5};
+  }
+  for (double util : utils) {
     for (bool clustered : {false, true}) {
       WorkloadConfig base =
           MakeWorkloadConfig(stack, Personality::kWebserver, 0.5, false, 0, 42);

@@ -17,10 +17,14 @@ int main(int argc, char** argv) {
       "plain Duet (the paper's PACMan remark)",
       stack);
 
-  RateTable rates(".duet_rate_cache");
+  RateTable rates(BenchRateCachePath());
   TextTable table({"util", "plain duet saved", "informed saved", "plain done",
                    "informed done"});
-  for (double util : {0.2, 0.4, 0.6, 0.8}) {
+  std::vector<double> utils{0.2, 0.4, 0.6, 0.8};
+  if (SmokeMode()) {
+    utils = {0.4};
+  }
+  for (double util : utils) {
     WorkloadConfig base =
         MakeWorkloadConfig(stack, Personality::kWebserver, 1.0, false, 0, 42);
     const CalibratedRate& rate = rates.Get(stack, base, util);

@@ -18,10 +18,14 @@ int main(int argc, char** argv) {
   StackConfig deadline = stack;
   deadline.scheduler = SchedulerKind::kDeadline;
 
-  RateTable rates(".duet_rate_cache");
+  RateTable rates(BenchRateCachePath());
   TextTable table({"util target", "sched", "I/O saved", "workload ops",
                    "workload latency (ms)", "scrub finished at (s)"});
-  for (double util : {0.3, 0.5, 0.7}) {
+  std::vector<double> utils{0.3, 0.5, 0.7};
+  if (SmokeMode()) {
+    utils = {0.5};
+  }
+  for (double util : utils) {
     for (auto [s, name] : {std::pair{&stack, "cfq"}, std::pair{&deadline, "deadline"}}) {
       // Calibrate rates on the CFQ stack so both rows issue the same offered
       // load; the deadline row then shows the interference.

@@ -99,10 +99,14 @@ int main(int argc, char** argv) {
   const uint64_t kFaultSeed = 7;
   const double kFaultRate = 2.0;  // mean faults/second (latent + bit rot)
 
-  RateTable rates(".duet_rate_cache");
+  RateTable rates(BenchRateCachePath());
   TextTable table({"util", "mode", "plan", "injected", "detected", "repaired",
                    "unrec", "MTTD (s)", "passes", "scrub I/O"});
-  for (double util : {0.3, 0.5, 0.7}) {
+  std::vector<double> utils{0.3, 0.5, 0.7};
+  if (SmokeMode()) {
+    utils = {0.5};
+  }
+  for (double util : utils) {
     WorkloadConfig base =
         MakeWorkloadConfig(stack, Personality::kWebserver, 0.5, false, 0, kSeed);
     const CalibratedRate& rate = rates.Get(stack, base, util);

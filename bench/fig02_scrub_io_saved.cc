@@ -15,13 +15,17 @@ int main(int argc, char** argv) {
       "fraction; skewed access reduces savings by 15-30%",
       stack);
 
-  RateTable rates(".duet_rate_cache");
-  TextTable table({"util", "overlap 25%", "overlap 50%", "overlap 75%",
-                   "overlap 100%", "100% (MS trace)"});
-  for (int util_pct = 0; util_pct <= 100; util_pct += 10) {
+  RateTable rates(BenchRateCachePath());
+  std::vector<std::string> headers{"util"};
+  for (double overlap : OverlapSweep()) {
+    headers.push_back(StrFormat("overlap %.0f%%", overlap * 100));
+  }
+  headers.push_back("100% (MS trace)");
+  TextTable table(std::move(headers));
+  for (int util_pct : UtilSweepPct()) {
     double util = util_pct / 100.0;
     std::vector<std::string> row{Pct(util)};
-    for (double overlap : {0.25, 0.50, 0.75, 1.00}) {
+    for (double overlap : OverlapSweep()) {
       MaintenanceRunResult result =
           RunAtUtil(rates, stack, Personality::kWebserver, overlap,
                     /*skewed=*/false, util, {MaintKind::kScrub}, /*use_duet=*/true);
@@ -38,6 +42,9 @@ int main(int argc, char** argv) {
 
   // §6.2 also reports write-heavier workloads saving less; show the
   // personality effect at one utilization.
+  if (SmokeMode()) {
+    return 0;
+  }
   printf("\npersonality effect at 70%% utilization, 100%% overlap:\n");
   TextTable ptable({"personality", "R:W", "I/O saved"});
   ptable.AddRow({"webserver", "10:1",

@@ -16,13 +16,17 @@ int main(int argc, char** argv) {
       "write-heavy workloads break snapshot sharing and save less",
       stack);
 
-  RateTable rates(".duet_rate_cache");
-  TextTable table({"util", "overlap 25%", "overlap 50%", "overlap 75%",
-                   "overlap 100%", "100% (MS trace)"});
-  for (int util_pct = 0; util_pct <= 100; util_pct += 10) {
+  RateTable rates(BenchRateCachePath());
+  std::vector<std::string> headers{"util"};
+  for (double overlap : OverlapSweep()) {
+    headers.push_back(StrFormat("overlap %.0f%%", overlap * 100));
+  }
+  headers.push_back("100% (MS trace)");
+  TextTable table(std::move(headers));
+  for (int util_pct : UtilSweepPct()) {
     double util = util_pct / 100.0;
     std::vector<std::string> row{Pct(util)};
-    for (double overlap : {0.25, 0.50, 0.75, 1.00}) {
+    for (double overlap : OverlapSweep()) {
       MaintenanceRunResult result =
           RunAtUtil(rates, stack, Personality::kWebserver, overlap,
                     /*skewed=*/false, util, {MaintKind::kBackup}, /*use_duet=*/true);
@@ -37,6 +41,9 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
+  if (SmokeMode()) {
+    return 0;
+  }
   printf("\nsnapshot-sharing breakage: personality effect at 50%% utilization:\n");
   TextTable ptable({"personality", "R:W", "I/O saved"});
   for (auto [p, name, ratio] :

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"overlap", "baseline (s)", "duet (s)", "speedup",
                    "duet reads saved"});
-  for (double overlap : {0.25, 0.50, 0.75, 1.00}) {
+  for (double overlap : OverlapSweep()) {
     RsyncRunResult baseline = RunRsync(stack, Personality::kWebserver, overlap,
                                        /*skewed=*/false, /*use_duet=*/false, 42);
     RsyncRunResult with_duet = RunRsync(stack, Personality::kWebserver, overlap,

@@ -15,10 +15,10 @@ int main(int argc, char** argv) {
       "70-90% depending on overlap",
       stack);
 
-  RateTable rates(".duet_rate_cache");
+  RateTable rates(BenchRateCachePath());
   TextTable table({"util", "baseline done", "duet done (50% ovl)",
                    "duet done (100% ovl)"});
-  for (int util_pct = 0; util_pct <= 100; util_pct += 10) {
+  for (int util_pct : UtilSweepPct()) {
     double util = util_pct / 100.0;
     MaintenanceRunResult baseline = RunAtUtil(
         rates, stack, Personality::kWebserver, 1.0, false, util,

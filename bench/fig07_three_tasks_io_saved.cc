@@ -16,16 +16,25 @@ int main(int argc, char** argv) {
       stack);
 
   constexpr double kFrag = 0.1;
-  RateTable rates(".duet_rate_cache");
-  TextTable table({"util", "webserver 50% ovl", "webserver 100% ovl",
-                   "webproxy 100%", "fileserver 100%"});
-  for (int util_pct = 0; util_pct <= 100; util_pct += 10) {
+  RateTable rates(BenchRateCachePath());
+  // Smoke keeps one series; the full grid covers the paper's four.
+  std::vector<std::pair<Personality, double>> series{
+      {Personality::kWebserver, 0.5},
+      {Personality::kWebserver, 1.0},
+      {Personality::kWebproxy, 1.0},
+      {Personality::kFileserver, 1.0}};
+  std::vector<std::string> headers{"util", "webserver 50% ovl",
+                                   "webserver 100% ovl", "webproxy 100%",
+                                   "fileserver 100%"};
+  if (SmokeMode()) {
+    series = {{Personality::kWebserver, 1.0}};
+    headers = {"util", "webserver 100% ovl"};
+  }
+  TextTable table(std::move(headers));
+  for (int util_pct : UtilSweepPct()) {
     double util = util_pct / 100.0;
     std::vector<std::string> row{Pct(util)};
-    for (auto [p, overlap] : {std::pair{Personality::kWebserver, 0.5},
-                              std::pair{Personality::kWebserver, 1.0},
-                              std::pair{Personality::kWebproxy, 1.0},
-                              std::pair{Personality::kFileserver, 1.0}}) {
+    for (auto [p, overlap] : series) {
       MaintenanceRunResult result = RunAtUtil(
           rates, stack, p, overlap, /*skewed=*/false, util,
           {MaintKind::kScrub, MaintKind::kBackup, MaintKind::kDefrag},

@@ -16,9 +16,9 @@ int main(int argc, char** argv) {
       stack);
 
   constexpr double kFrag = 0.1;
-  RateTable rates(".duet_rate_cache");
+  RateTable rates(BenchRateCachePath());
   TextTable table({"util", "baseline done", "duet done"});
-  for (int util_pct = 0; util_pct <= 100; util_pct += 10) {
+  for (int util_pct : UtilSweepPct()) {
     double util = util_pct / 100.0;
     MaintenanceRunResult baseline = RunAtUtil(
         rates, stack, Personality::kWebserver, 1.0, false, util,

@@ -29,6 +29,11 @@ struct OverheadResult {
 
 OverheadResult Measure(const StackConfig& stack, uint8_t mask,
                        SimDuration fetch_interval) {
+  // Fresh context per measurement: the cost model below reads the duet.*
+  // registry counters, so each configuration must start from zero.
+  obs::ObsContext obs_ctx;
+  obs::ObsScope obs_scope(&obs_ctx);
+
   WorkloadConfig workload = MakeWorkloadConfig(stack, Personality::kWebserver, 1.0,
                                                false, /*ops_per_sec=*/0, 42);
   CowRig rig(stack, workload);
@@ -48,18 +53,19 @@ OverheadResult Measure(const StackConfig& stack, uint8_t mask,
   };
   rig.loop().ScheduleAfter(fetch_interval, poll);
   rig.workload().Start();
-  SimDuration window = Seconds(10);
+  SimDuration window = SmokeMode() ? stack.window : Seconds(10);
   rig.loop().RunUntil(window);
   rig.workload().Stop();
 
-  const DuetStats& stats = rig.duet().stats();
-  double cost_ns = static_cast<double>(stats.hook_invocations) * kHookCost +
-                   static_cast<double>(stats.descriptor_updates) * kDescriptorCost +
-                   static_cast<double>(stats.items_fetched) * kItemCopyCost +
-                   static_cast<double>(stats.fetch_calls) * kFetchCallCost;
+  obs::MetricsSnapshot snap = obs_ctx.metrics.Snapshot();
+  double hooks = static_cast<double>(snap.Value("duet.hooks"));
+  double cost_ns =
+      hooks * kHookCost +
+      static_cast<double>(snap.Value("duet.events.delivered")) * kDescriptorCost +
+      static_cast<double>(snap.Value("duet.items.fetched")) * kItemCopyCost +
+      static_cast<double>(snap.Value("duet.fetch.calls")) * kFetchCallCost;
   OverheadResult out;
-  out.events_per_ms =
-      static_cast<double>(stats.hook_invocations) / ToMillis(window);
+  out.events_per_ms = hooks / ToMillis(window);
   out.cpu_overhead_pct = cost_ns / static_cast<double>(window) * 100.0;
   out.items = items;
   return out;
@@ -81,7 +87,11 @@ int main(int argc, char** argv) {
 
   TextTable table({"fetch interval", "mode", "events/ms", "items fetched",
                    "CPU overhead", "at paper's 12 ev/ms"});
-  for (uint64_t interval_ms : {10u, 20u, 40u}) {
+  std::vector<uint64_t> intervals_ms{10, 20, 40};
+  if (SmokeMode()) {
+    intervals_ms = {10};
+  }
+  for (uint64_t interval_ms : intervals_ms) {
     for (auto [mask, name] :
          {std::pair{event_mask, "events"}, std::pair{state_mask, "state"}}) {
       OverheadResult r = Measure(stack, mask, Millis(interval_ms));

@@ -19,9 +19,9 @@ int main(int argc, char** argv) {
   StackConfig ssd = stack;
   ssd.device = DeviceKind::kSsd;
 
-  RateTable rates(".duet_rate_cache");
+  RateTable rates(BenchRateCachePath());
   TextTable table({"util", "scrub hdd", "scrub ssd", "backup hdd", "backup ssd"});
-  for (int util_pct = 0; util_pct <= 100; util_pct += 20) {
+  for (int util_pct : UtilSweepPct(20)) {
     double util = util_pct / 100.0;
     auto run = [&](const StackConfig& s, MaintKind task) {
       return RunAtUtil(rates, s, Personality::kWebserver, 1.0, false, util, {task},

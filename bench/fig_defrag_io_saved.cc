@@ -17,15 +17,23 @@ int main(int argc, char** argv) {
       stack);
 
   constexpr double kFrag = 0.1;
-  RateTable rates(".duet_rate_cache");
-  TextTable table({"util", "webserver", "webserver (MS)", "webproxy", "fileserver"});
-  for (int util_pct = 0; util_pct <= 100; util_pct += 20) {
+  RateTable rates(BenchRateCachePath());
+  std::vector<std::pair<Personality, bool>> series{
+      {Personality::kWebserver, false},
+      {Personality::kWebserver, true},
+      {Personality::kWebproxy, false},
+      {Personality::kFileserver, false}};
+  std::vector<std::string> headers{"util", "webserver", "webserver (MS)",
+                                   "webproxy", "fileserver"};
+  if (SmokeMode()) {
+    series = {{Personality::kWebserver, false}};
+    headers = {"util", "webserver"};
+  }
+  TextTable table(std::move(headers));
+  for (int util_pct : UtilSweepPct(20)) {
     double util = util_pct / 100.0;
     std::vector<std::string> row{Pct(util)};
-    for (auto [p, skew] : {std::pair{Personality::kWebserver, false},
-                           std::pair{Personality::kWebserver, true},
-                           std::pair{Personality::kWebproxy, false},
-                           std::pair{Personality::kFileserver, false}}) {
+    for (auto [p, skew] : series) {
       MaintenanceRunResult result = RunAtUtil(rates, stack, p, 1.0, skew, util,
                                               {MaintKind::kDefrag},
                                               /*use_duet=*/true, kFrag);

@@ -35,7 +35,7 @@ void RunStateSession(const StackConfig& stack, bool poll) {
   };
   rig.loop().ScheduleAfter(Millis(20), tick);
   rig.workload().Start();
-  rig.loop().RunUntil(Seconds(10));
+  rig.loop().RunUntil(SmokeMode() ? stack.window : Seconds(10));
   rig.workload().Stop();
 
   uint64_t cached = rig.fs().cache().PageCount();

@@ -19,7 +19,8 @@ struct Row {
 double MaxUtil(RateTable& rates, const StackConfig& stack, const Row& row,
                MaintKind task, bool use_duet, double frag) {
   double best = -1;
-  for (int util_pct = 0; util_pct <= 100; util_pct += 10) {
+  int step = SmokeMode() ? 50 : 10;
+  for (int util_pct = 0; util_pct <= 100; util_pct += step) {
     double util = util_pct / 100.0;
     MaintenanceRunResult result = RunAtUtil(rates, stack, row.personality,
                                             row.overlap, row.skewed, util, {task},
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
       "defrag 40-60%; Duet raises each, up to 100% at full overlap",
       stack);
 
-  const Row rows[] = {
+  std::vector<Row> rows{
       {Personality::kWebserver, "webserver", "10:1", 0.25, false},
       {Personality::kWebserver, "webserver", "10:1", 0.50, false},
       {Personality::kWebserver, "webserver", "10:1", 0.75, false},
@@ -60,14 +61,20 @@ int main(int argc, char** argv) {
       {Personality::kFileserver, "fileserver", "1:2", 1.00, false},
       {Personality::kFileserver, "fileserver", "1:2", 1.00, true},
   };
+  std::vector<MaintKind> task_kinds{MaintKind::kScrub, MaintKind::kBackup,
+                                    MaintKind::kDefrag};
+  if (SmokeMode()) {
+    rows = {{Personality::kWebserver, "webserver", "10:1", 1.00, false}};
+    task_kinds = {MaintKind::kScrub};
+  }
 
-  RateTable rates(".duet_rate_cache");
+  RateTable rates(BenchRateCachePath());
   TextTable table({"workload", "overlap", "distribution", "scrub base", "scrub duet",
                    "backup base", "backup duet", "defrag base", "defrag duet"});
   for (const Row& row : rows) {
     std::vector<std::string> cells{row.workload_name, Pct(row.overlap),
                                    row.skewed ? "MS trace" : "uniform"};
-    for (MaintKind task : {MaintKind::kScrub, MaintKind::kBackup, MaintKind::kDefrag}) {
+    for (MaintKind task : task_kinds) {
       double frag = task == MaintKind::kDefrag ? 0.1 : 0.0;
       cells.push_back(FmtUtil(MaxUtil(rates, stack, row, task, false, frag)));
       cells.push_back(FmtUtil(MaxUtil(rates, stack, row, task, true, frag)));

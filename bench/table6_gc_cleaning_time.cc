@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
       "70% as more victim blocks are cached",
       stack);
 
-  RateTable rates(".duet_rate_cache");
+  RateTable rates(BenchRateCachePath());
   TextTable table({"utilization", "distribution", "baseline (ms)", "duet (ms)",
                    "base cached", "duet cached"});
   auto fmt = [](const GcRunResult& r) {
@@ -31,8 +31,14 @@ int main(int argc, char** argv) {
                       : Pct(static_cast<double>(r.blocks_cached) /
                             static_cast<double>(total));
   };
-  for (bool skewed : {false, true}) {
-    for (int util_pct = 40; util_pct <= 70; util_pct += 10) {
+  std::vector<bool> skew_axis{false, true};
+  int util_step = 10;
+  if (SmokeMode()) {
+    skew_axis = {false};
+    util_step = 30;
+  }
+  for (bool skewed : skew_axis) {
+    for (int util_pct = 40; util_pct <= 70; util_pct += util_step) {
       double util = util_pct / 100.0;
       WorkloadConfig base = MakeWorkloadConfig(stack, Personality::kFileserver, 1.0,
                                                skewed, 0, 42);

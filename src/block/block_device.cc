@@ -9,7 +9,16 @@ namespace duet {
 
 BlockDevice::BlockDevice(EventLoop* loop, std::unique_ptr<DiskModel> model,
                          std::unique_ptr<IoScheduler> scheduler)
-    : loop_(loop), model_(std::move(model)), scheduler_(std::move(scheduler)) {
+    : loop_(loop),
+      model_(std::move(model)),
+      scheduler_(std::move(scheduler)),
+      obs_(obs::CurrentObs()),
+      ctr_submit_(obs_->metrics.GetCounter("block.submits")),
+      ctr_complete_(obs_->metrics.GetCounter("block.completions")),
+      ctr_failed_requests_(obs_->metrics.GetCounter("block.failed.requests")),
+      ctr_failed_blocks_(obs_->metrics.GetCounter("block.failed.blocks")),
+      hist_read_latency_us_(obs_->metrics.GetHistogram("block.read.latency_us")),
+      hist_write_latency_us_(obs_->metrics.GetHistogram("block.write.latency_us")) {
   assert(loop_ != nullptr && model_ != nullptr && scheduler_ != nullptr);
 }
 
@@ -18,6 +27,11 @@ void BlockDevice::Submit(IoRequest request) {
   if (request.io_class == IoClass::kBestEffort) {
     last_best_effort_activity_ = loop_->now();
   }
+  ctr_submit_->Add();
+  obs_->trace.Emit(loop_->now(), obs::TraceLayer::kBlock,
+                   obs::TraceKind::kIoSubmit, request.block, request.count,
+                   (static_cast<uint64_t>(request.io_class) << 1) |
+                       static_cast<uint64_t>(request.dir));
   scheduler_->Enqueue(std::move(request));
   TryDispatch();
 }
@@ -74,6 +88,9 @@ void BlockDevice::Complete(IoRequest request, SimDuration service_time) {
   }
   busy_ = false;
   --in_flight_;
+  ctr_complete_->Add();
+  (request.dir == IoDir::kRead ? hist_read_latency_us_ : hist_write_latency_us_)
+      ->Record(service_time / kMicrosecond);
   IoResult result;
   if (injector_ != nullptr && request.consult_faults && request.dir == IoDir::kRead) {
     result.status = injector_->OnRead(request.block, request.count, loop_->now(),
@@ -81,8 +98,13 @@ void BlockDevice::Complete(IoRequest request, SimDuration service_time) {
     if (!result.status.ok()) {
       ++stats_.failed_requests;
       stats_.failed_block_reads += result.failed_blocks.size();
+      ctr_failed_requests_->Add();
+      ctr_failed_blocks_->Add(result.failed_blocks.size());
     }
   }
+  obs_->trace.Emit(loop_->now(), obs::TraceLayer::kBlock,
+                   obs::TraceKind::kIoComplete, request.block, request.count,
+                   static_cast<uint64_t>(result.status.code()));
   if (request.done) {
     request.done(result);
   }

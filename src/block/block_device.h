@@ -10,6 +10,7 @@
 #include "src/block/disk_model.h"
 #include "src/block/io_request.h"
 #include "src/block/io_scheduler.h"
+#include "src/obs/obs.h"
 #include "src/sim/event_loop.h"
 #include "src/util/types.h"
 
@@ -81,6 +82,13 @@ class BlockDevice {
   SimTime last_best_effort_activity_ = 0;
   EventId retry_event_ = kInvalidEvent;
   DeviceStats stats_;
+  obs::ObsContext* obs_;
+  obs::Counter* ctr_submit_;
+  obs::Counter* ctr_complete_;
+  obs::Counter* ctr_failed_requests_;
+  obs::Counter* ctr_failed_blocks_;
+  obs::LogHistogram* hist_read_latency_us_;
+  obs::LogHistogram* hist_write_latency_us_;
 };
 
 }  // namespace duet

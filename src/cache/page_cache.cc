@@ -20,14 +20,34 @@ const char* PageEventTypeName(PageEventType type) {
   return "UNKNOWN";
 }
 
+namespace {
+
+// Trace kinds indexed by PageEventType (kAdded..kFlushed).
+constexpr obs::TraceKind kPageTraceKind[4] = {
+    obs::TraceKind::kPageAdded, obs::TraceKind::kPageRemoved,
+    obs::TraceKind::kPageDirtied, obs::TraceKind::kPageFlushed};
+
+}  // namespace
+
 PageCache::PageCache(uint64_t capacity_pages, std::function<SimTime()> clock)
-    : capacity_(capacity_pages), clock_(std::move(clock)) {
+    : capacity_(capacity_pages), clock_(std::move(clock)), obs_(obs::CurrentObs()) {
   assert(capacity_ > 0);
   assert(clock_ != nullptr);
+  ctr_events_[0] = obs_->metrics.GetCounter("cache.added");
+  ctr_events_[1] = obs_->metrics.GetCounter("cache.removed");
+  ctr_events_[2] = obs_->metrics.GetCounter("cache.dirtied");
+  ctr_events_[3] = obs_->metrics.GetCounter("cache.flushed");
+  ctr_hits_ = obs_->metrics.GetCounter("cache.hits");
+  ctr_misses_ = obs_->metrics.GetCounter("cache.misses");
+  ctr_evictions_ = obs_->metrics.GetCounter("cache.evictions");
+  ctr_removed_dirty_ = obs_->metrics.GetCounter("cache.removed_dirty");
 }
 
 void PageCache::Emit(PageEventType type, InodeNo ino, PageIdx idx) {
   ++stats_.events_emitted;
+  ctr_events_[static_cast<int>(type)]->Add();
+  obs_->trace.Emit(clock_(), obs::TraceLayer::kCache,
+                   kPageTraceKind[static_cast<int>(type)], ino, idx);
   PageEvent event{type, ino, idx};
   for (PageEventListener* l : listeners_) {
     l->OnPageEvent(event);
@@ -40,11 +60,13 @@ std::optional<uint64_t> PageCache::Lookup(InodeNo ino, PageIdx idx) {
     auto it = ino_it->second.find(idx);
     if (it != ino_it->second.end()) {
       ++stats_.hits;
+      ctr_hits_->Add();
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       return it->second.page.data;
     }
   }
   ++stats_.misses;
+  ctr_misses_->Add();
   return std::nullopt;
 }
 
@@ -143,6 +165,8 @@ bool PageCache::Remove(InodeNo ino, PageIdx idx) {
   }
   if (it->second.page.dirty) {
     --dirty_count_;
+    ++stats_.removed_dirty;
+    ctr_removed_dirty_->Add();
   }
   lru_.erase(it->second.lru_it);
   ino_it->second.erase(it);
@@ -282,6 +306,9 @@ void PageCache::EvictIfNeeded() {
   }
   for (const PageKey& key : victims) {
     ++stats_.evictions;
+    ctr_evictions_->Add();
+    obs_->trace.Emit(clock_(), obs::TraceLayer::kCache,
+                     obs::TraceKind::kPageEvicted, key.ino, key.idx);
     Remove(key.ino, key.idx);
   }
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/cache/page_event.h"
+#include "src/obs/obs.h"
 #include "src/sim/time.h"
 #include "src/util/types.h"
 
@@ -41,6 +42,10 @@ struct PageCacheStats {
   uint64_t insertions = 0;
   uint64_t evictions = 0;
   uint64_t events_emitted = 0;
+  // Pages removed while still dirty (truncate/delete): these never emit
+  // kFlushed, so the dirtied == flushed + removed_dirty + resident-dirty
+  // conservation law needs them accounted separately.
+  uint64_t removed_dirty = 0;
 };
 
 class PageCache {
@@ -151,6 +156,13 @@ class PageCache {
   EvictionAdvisor advisor_;
   size_t advisor_window_ = 64;
   PageCacheStats stats_;
+  obs::ObsContext* obs_;
+  // One counter per hook event type, indexed by PageEventType.
+  obs::Counter* ctr_events_[4];
+  obs::Counter* ctr_hits_;
+  obs::Counter* ctr_misses_;
+  obs::Counter* ctr_evictions_;
+  obs::Counter* ctr_removed_dirty_;
 };
 
 }  // namespace duet

@@ -36,12 +36,24 @@ uint8_t AffectedStateBit(PageEventType type) {
 
 }  // namespace
 
-DuetCore::DuetCore(FileSystem* fs, DuetConfig config) : fs_(fs), config_(config) {
+DuetCore::DuetCore(FileSystem* fs, DuetConfig config)
+    : fs_(fs),
+      config_(config),
+      obs_(obs::CurrentObs()),
+      ctr_hooks_(obs_->metrics.GetCounter("duet.hooks")),
+      ctr_delivered_(obs_->metrics.GetCounter("duet.events.delivered")),
+      ctr_dropped_(obs_->metrics.GetCounter("duet.events.dropped")),
+      ctr_fetched_(obs_->metrics.GetCounter("duet.items.fetched")),
+      ctr_fetch_calls_(obs_->metrics.GetCounter("duet.fetch.calls")),
+      ctr_done_set_(obs_->metrics.GetCounter("duet.done.set")),
+      ctr_done_unset_(obs_->metrics.GetCounter("duet.done.unset")) {
   assert(fs_ != nullptr);
   assert(config_.max_sessions <= kMaxSessionsHard);
   fs_->cache().AddListener(this);
   fs_->ns().AddObserver(this);
 }
+
+SimTime DuetCore::Now() const { return fs_->loop().now(); }
 
 DuetCore::~DuetCore() {
   fs_->cache().RemoveListener(this);
@@ -84,6 +96,9 @@ Result<SessionId> DuetCore::RegisterFileTask(std::string_view path, uint8_t mask
   uint64_t inode_bits = fs_->ns().max_ino() + 4096;
   s.done.Resize(inode_bits);
   s.relevant.Resize(inode_bits);
+  obs_->metrics.GetCounter("duet.sessions.registered")->Add();
+  obs_->trace.Emit(Now(), obs::TraceLayer::kDuet,
+                   obs::TraceKind::kSessionRegistered, *sid, mask, 0);
   InitialScan(*sid);
   return sid;
 }
@@ -96,6 +111,9 @@ Result<SessionId> DuetCore::RegisterBlockTask(uint8_t mask) {
   Session& s = sessions_[*sid];
   s.is_block = true;
   s.done.Resize(fs_->capacity_blocks());
+  obs_->metrics.GetCounter("duet.sessions.registered")->Add();
+  obs_->trace.Emit(Now(), obs::TraceLayer::kDuet,
+                   obs::TraceKind::kSessionRegistered, *sid, mask, 1);
   InitialScan(*sid);
   return sid;
 }
@@ -121,6 +139,9 @@ Status DuetCore::Deregister(SessionId sid) {
   s.relevant.Reset();
   s.pending = 0;
   --active_sessions_;
+  obs_->metrics.GetCounter("duet.sessions.deregistered")->Add();
+  obs_->trace.Emit(Now(), obs::TraceLayer::kDuet,
+                   obs::TraceKind::kSessionDeregistered, sid);
   return Status::Ok();
 }
 
@@ -219,6 +240,9 @@ bool DuetCore::EnsureQueued(SessionId sid, Session& s, Descriptor& d,
     // Event-only session at its descriptor limit: drop (§4.2).
     ++stats_.events_dropped;
     ++s.dropped;
+    ctr_dropped_->Add();
+    obs_->trace.Emit(Now(), obs::TraceLayer::kDuet, obs::TraceKind::kEventDropped,
+                     sid, key.ino, key.idx);
     d.flags[sid] &= static_cast<uint8_t>(~kPendingEventMask);
     return false;
   }
@@ -244,6 +268,7 @@ bool DuetCore::IsRelevant(Session& s, InodeNo ino) {
 
 void DuetCore::OnPageEvent(const PageEvent& event) {
   ++stats_.hook_invocations;
+  ctr_hooks_->Add();
   if (active_sessions_ == 0) {
     // Still refresh an existing descriptor's state view if one survives.
     auto it = descriptors_.find(PageKey{event.ino, event.idx});
@@ -297,6 +322,9 @@ void DuetCore::ApplyEvent(SessionId sid, Session& s, const PageKey& key,
                           PageEventType type) {
   Descriptor& d = GetOrCreateDescriptor(key);
   ++stats_.descriptor_updates;
+  ctr_delivered_->Add();
+  obs_->trace.Emit(Now(), obs::TraceLayer::kDuet, obs::TraceKind::kEventDelivered,
+                   sid, key.ino, key.idx);
   uint8_t event_bit = static_cast<uint8_t>(s.mask & EventBit(type));
   if (event_bit != 0) {
     d.flags[sid] |= event_bit;
@@ -324,6 +352,7 @@ void DuetCore::InitialScan(SessionId sid) {
     PageKey key{ino, idx};
     Descriptor& d = GetOrCreateDescriptor(key);
     ++stats_.descriptor_updates;
+    ctr_delivered_->Add();
     // The scan marks the page present (and possibly dirty), §4.1.
     if ((s.mask & kDuetPageAdded) != 0) {
       d.flags[sid] |= kDuetPageAdded;
@@ -345,6 +374,7 @@ Result<std::vector<DuetItem>> DuetCore::Fetch(SessionId sid, size_t max_items) {
   }
   Session& s = sessions_[sid];
   ++stats_.fetch_calls;
+  ctr_fetch_calls_->Add();
   std::vector<DuetItem> items;
   while (items.size() < max_items && !s.queue.empty()) {
     PageKey key = s.queue.front();
@@ -404,6 +434,9 @@ Result<std::vector<DuetItem>> DuetCore::Fetch(SessionId sid, size_t max_items) {
     }
     items.push_back(item);
     ++stats_.items_fetched;
+    ctr_fetched_->Add();
+    obs_->trace.Emit(Now(), obs::TraceLayer::kDuet, obs::TraceKind::kItemFetched,
+                     sid, item.id, item.flags);
     MaybeFreeDescriptor(key);
   }
   return items;
@@ -432,6 +465,9 @@ Status DuetCore::SetDone(SessionId sid, uint64_t item_id) {
     EnsureInodeCapacity(item_id);
   }
   s.done.Set(item_id);
+  ctr_done_set_->Add();
+  obs_->trace.Emit(Now(), obs::TraceLayer::kDuet, obs::TraceKind::kDoneSet, sid,
+                   item_id);
 
   // Mark existing descriptors up-to-date so completed items generate no
   // further notifications (§4.1).
@@ -483,6 +519,9 @@ Status DuetCore::UnsetDone(SessionId sid, uint64_t item_id) {
     return Status(StatusCode::kInvalidArgument, "item out of range");
   }
   s.done.Clear(item_id);
+  ctr_done_unset_->Add();
+  obs_->trace.Emit(Now(), obs::TraceLayer::kDuet, obs::TraceKind::kDoneUnset, sid,
+                   item_id);
   return Status::Ok();
 }
 
@@ -527,6 +566,7 @@ void DuetCore::FileMovedIn(SessionId sid, Session& s, InodeNo ino) {
     PageKey key{ino, idx};
     Descriptor& d = GetOrCreateDescriptor(key);
     ++stats_.descriptor_updates;
+    ctr_delivered_->Add();
     if ((s.mask & kDuetPageAdded) != 0) {
       d.flags[sid] |= kDuetPageAdded;
     }
@@ -548,6 +588,7 @@ void DuetCore::FileMovedOut(SessionId sid, Session& s, InodeNo ino) {
     PageKey key{ino, idx};
     Descriptor& d = GetOrCreateDescriptor(key);
     ++stats_.descriptor_updates;
+    ctr_delivered_->Add();
     if ((s.mask & (kDuetPageRemoved | kDuetPageExists)) != 0) {
       d.flags[sid] |= kDuetPageRemoved;
       // Pretend the page's existence was already re-reported so the state

@@ -34,6 +34,7 @@
 #include "src/duet/duet_types.h"
 #include "src/fs/file_system.h"
 #include "src/fs/vfs_observer.h"
+#include "src/obs/obs.h"
 #include "src/util/range_bitmap.h"
 #include "src/util/status.h"
 
@@ -183,8 +184,18 @@ class DuetCore : public PageEventListener, public VfsObserver {
   void FileMovedIn(SessionId sid, Session& s, InodeNo ino);
   void FileMovedOut(SessionId sid, Session& s, InodeNo ino);
 
+  SimTime Now() const;
+
   FileSystem* fs_;
   DuetConfig config_;
+  obs::ObsContext* obs_;
+  obs::Counter* ctr_hooks_;
+  obs::Counter* ctr_delivered_;
+  obs::Counter* ctr_dropped_;
+  obs::Counter* ctr_fetched_;
+  obs::Counter* ctr_fetch_calls_;
+  obs::Counter* ctr_done_set_;
+  obs::Counter* ctr_done_unset_;
   std::array<Session, kMaxSessionsHard> sessions_;
   uint32_t active_sessions_ = 0;
   std::unordered_map<PageKey, Descriptor, PageKeyHash> descriptors_;

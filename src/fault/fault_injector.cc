@@ -7,7 +7,16 @@
 namespace duet {
 
 FaultInjector::FaultInjector(EventLoop* loop, FaultPlan plan)
-    : loop_(loop), plan_(std::move(plan)) {
+    : loop_(loop),
+      plan_(std::move(plan)),
+      obs_(obs::CurrentObs()),
+      ctr_injected_(obs_->metrics.GetCounter("fault.injected")),
+      ctr_detected_(obs_->metrics.GetCounter("fault.detected")),
+      ctr_repaired_(obs_->metrics.GetCounter("fault.repaired")),
+      ctr_masked_(obs_->metrics.GetCounter("fault.masked")),
+      ctr_unrecoverable_(obs_->metrics.GetCounter("fault.unrecoverable")),
+      ctr_read_errors_(obs_->metrics.GetCounter("fault.read_errors")),
+      ctr_transient_failures_(obs_->metrics.GetCounter("fault.transient_failures")) {
   assert(loop_ != nullptr);
 }
 
@@ -37,6 +46,9 @@ void FaultInjector::Activate(const FaultEvent& event) {
       }
       active_[event.block] = ActiveFault{event.kind, loop_->now(), false, false};
       ++stats_.injected;
+      ctr_injected_->Add();
+      obs_->trace.Emit(loop_->now(), obs::TraceLayer::kFault,
+                       obs::TraceKind::kFaultInjected, event.block, event.kind);
       if (event.kind == kFaultBitRot && sink_) {
         sink_(event.block, event.both_copies);
       }
@@ -46,6 +58,8 @@ void FaultInjector::Activate(const FaultEvent& event) {
       // Materializes when (and if) a write covers the block.
       if (armed_torn_.emplace(event.block, loop_->now()).second) {
         ++stats_.torn_armed;
+        obs_->trace.Emit(loop_->now(), obs::TraceLayer::kFault,
+                         obs::TraceKind::kFaultArmed, event.block, event.kind);
       }
       break;
     case kFaultTransient:
@@ -82,6 +96,7 @@ Status FaultInjector::OnRead(BlockNo block, uint32_t count, SimTime now,
     for (const TransientWindow& w : transients_) {
       if (block < w.start + w.span && w.start < block + count) {
         ++stats_.transient_failures;
+        ctr_transient_failures_->Add();
         return Status(StatusCode::kBusy, "transient read timeout");
       }
     }
@@ -96,9 +111,13 @@ Status FaultInjector::OnRead(BlockNo block, uint32_t count, SimTime now,
       failed->push_back(b);
     }
     ++stats_.read_errors;
+    ctr_read_errors_->Add();
     if (!it->second.detected) {
       it->second.detected = true;
       ++stats_.detected;
+      ctr_detected_->Add();
+      obs_->trace.Emit(now, obs::TraceLayer::kFault,
+                       obs::TraceKind::kFaultDetected, b);
       stats_.total_detect_latency += now - it->second.injected_at;
     }
     status = Status(StatusCode::kIoError, "latent sector error");
@@ -113,8 +132,14 @@ void FaultInjector::ResolveFault(BlockNo block, bool via_rewrite) {
   }
   if (it->second.detected) {
     ++stats_.repaired;
+    ctr_repaired_->Add();
+    obs_->trace.Emit(loop_->now(), obs::TraceLayer::kFault,
+                     obs::TraceKind::kFaultRepaired, block);
   } else {
     ++stats_.masked;
+    ctr_masked_->Add();
+    obs_->trace.Emit(loop_->now(), obs::TraceLayer::kFault,
+                     obs::TraceKind::kFaultMasked, block);
   }
   (void)via_rewrite;
   active_.erase(it);
@@ -130,6 +155,9 @@ void FaultInjector::OnWriteApplied(BlockNo block, uint32_t count, SimTime now) {
       armed_torn_.erase(torn);
       active_[b] = ActiveFault{kFaultTornWrite, now, false, false};
       ++stats_.injected;
+      ctr_injected_->Add();
+      obs_->trace.Emit(now, obs::TraceLayer::kFault,
+                       obs::TraceKind::kFaultInjected, b, kFaultTornWrite);
       if (sink_) {
         sink_(b, /*both_copies=*/false);
       }
@@ -144,6 +172,9 @@ void FaultInjector::NoteCorruptionDetected(BlockNo block) {
   }
   it->second.detected = true;
   ++stats_.detected;
+  ctr_detected_->Add();
+  obs_->trace.Emit(loop_->now(), obs::TraceLayer::kFault,
+                   obs::TraceKind::kFaultDetected, block);
   stats_.total_detect_latency += loop_->now() - it->second.injected_at;
 }
 
@@ -154,6 +185,9 @@ void FaultInjector::NoteUnrecoverable(BlockNo block) {
   }
   it->second.unrecoverable = true;
   ++stats_.unrecoverable;
+  ctr_unrecoverable_->Add();
+  obs_->trace.Emit(loop_->now(), obs::TraceLayer::kFault,
+                   obs::TraceKind::kFaultUnrecoverable, block);
 }
 
 void FaultInjector::OnBlockFreed(BlockNo block) {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/fault/fault_plan.h"
+#include "src/obs/obs.h"
 #include "src/sim/event_loop.h"
 #include "src/util/status.h"
 
@@ -120,6 +121,14 @@ class FaultInjector {
 
   EventLoop* loop_;
   FaultPlan plan_;
+  obs::ObsContext* obs_;
+  obs::Counter* ctr_injected_;
+  obs::Counter* ctr_detected_;
+  obs::Counter* ctr_repaired_;
+  obs::Counter* ctr_masked_;
+  obs::Counter* ctr_unrecoverable_;
+  obs::Counter* ctr_read_errors_;
+  obs::Counter* ctr_transient_failures_;
   std::function<void(BlockNo, bool)> sink_;
   std::function<bool(BlockNo)> filter_;
   bool started_ = false;

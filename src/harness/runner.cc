@@ -1,5 +1,6 @@
 #include "src/harness/runner.h"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 
@@ -18,19 +19,11 @@ const char* MaintKindName(MaintKind kind) {
 }
 
 uint64_t MaintenanceRunResult::TotalTaskIo() const {
-  uint64_t io = 0;
-  for (const TaskStats& s : task_stats) {
-    io += s.TotalIoPages();
-  }
-  return io;
+  return metrics.Value("tasks.total.io_pages");
 }
 
 uint64_t MaintenanceRunResult::TotalWork() const {
-  uint64_t work = 0;
-  for (const TaskStats& s : task_stats) {
-    work += s.work_total;
-  }
-  return work;
+  return metrics.Value("tasks.total.work");
 }
 
 double MaintenanceRunResult::IoSavedFraction() const {
@@ -41,11 +34,7 @@ double MaintenanceRunResult::IoSavedFraction() const {
   if (work == 0) {
     return 0;
   }
-  uint64_t saved = 0;
-  for (const TaskStats& s : task_stats) {
-    saved += s.saved_read_pages + s.saved_write_pages;
-  }
-  saved = std::min(saved, work);
+  uint64_t saved = std::min(metrics.Value("tasks.total.saved_pages"), work);
   return static_cast<double>(saved) / static_cast<double>(work);
 }
 
@@ -54,11 +43,8 @@ double MaintenanceRunResult::WorkCompletedFraction() const {
   if (work == 0) {
     return 1.0;
   }
-  uint64_t done = 0;
-  for (const TaskStats& s : task_stats) {
-    done += std::min(s.work_done, s.work_total);
-  }
-  return static_cast<double>(done) / static_cast<double>(work);
+  return static_cast<double>(metrics.Value("tasks.total.done")) /
+         static_cast<double>(work);
 }
 
 MaintenanceRunResult RunMaintenance(const MaintenanceRunConfig& config) {
@@ -76,6 +62,12 @@ MaintenanceRunResult RunMaintenance(const MaintenanceRunConfig& config) {
       workload.ops_per_sec = rate.unthrottled ? 0 : rate.ops_per_sec;
     }
   }
+
+  // Calibration above runs throwaway stacks; the run's observability scope
+  // starts here so its counters and trace cover exactly this stack.
+  obs::ObsContext local_obs;
+  obs::ObsContext* obs = config.obs != nullptr ? config.obs : &local_obs;
+  obs::ObsScope obs_scope(obs);
 
   CowRig rig(config.stack, workload);
   if (config.informed_eviction) {
@@ -186,6 +178,22 @@ MaintenanceRunResult RunMaintenance(const MaintenanceRunConfig& config) {
     result.task_stats.push_back(*stats);
     result.all_finished = result.all_finished && stats->finished;
   }
+
+  // Publish end-of-run totals so every reported number can be read back from
+  // the registry (Table 4 arithmetic lives in the result methods above).
+  uint64_t total_io = 0, total_work = 0, total_saved = 0, total_done = 0;
+  for (const TaskStats& s : result.task_stats) {
+    total_io += s.TotalIoPages();
+    total_work += s.work_total;
+    total_saved += s.saved_read_pages + s.saved_write_pages;
+    total_done += std::min(s.work_done, s.work_total);
+  }
+  obs->metrics.GetCounter("tasks.total.io_pages")->Add(total_io);
+  obs->metrics.GetCounter("tasks.total.work")->Add(total_work);
+  obs->metrics.GetCounter("tasks.total.saved_pages")->Add(total_saved);
+  obs->metrics.GetCounter("tasks.total.done")->Add(total_done);
+  result.metrics = obs->metrics.Snapshot();
+  result.trace_fingerprint = obs->trace.Fingerprint();
   return result;
 }
 
@@ -208,9 +216,12 @@ double FindMaxUtilization(MaintenanceRunConfig config, double step) {
 }
 
 RsyncRunResult RunRsync(const StackConfig& stack, Personality personality,
-                        double coverage, bool skewed, bool use_duet, uint64_t seed) {
+                        double coverage, bool skewed, bool use_duet, uint64_t seed,
+                        obs::ObsContext* obs) {
   WorkloadConfig workload =
       MakeWorkloadConfig(stack, personality, coverage, skewed, /*ops_per_sec=*/0, seed);
+  obs::ObsContext local_obs;
+  obs::ObsScope obs_scope(obs != nullptr ? obs : &local_obs);
   CowRig rig(stack, workload);
 
   // Destination: a second device + file system in the same simulation.
@@ -246,7 +257,8 @@ RsyncRunResult RunRsync(const StackConfig& stack, Personality personality,
 }
 
 GcRunResult RunGc(const StackConfig& stack, double target_util, bool use_duet,
-                  uint64_t seed, double ops_per_sec, bool unthrottled, bool skewed) {
+                  uint64_t seed, double ops_per_sec, bool unthrottled, bool skewed,
+                  obs::ObsContext* obs) {
   WorkloadConfig workload = MakeWorkloadConfig(stack, Personality::kFileserver,
                                                /*coverage=*/1.0, skewed,
                                                /*ops_per_sec=*/0, seed);
@@ -259,6 +271,8 @@ GcRunResult RunGc(const StackConfig& stack, double target_util, bool use_duet,
     workload.ops_per_sec = rate.unthrottled ? 0 : rate.ops_per_sec;
   }
 
+  obs::ObsContext local_obs;
+  obs::ObsScope obs_scope(obs != nullptr ? obs : &local_obs);
   LogRig rig(stack, workload);
   GcConfig config;
   config.use_duet = use_duet;

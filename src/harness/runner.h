@@ -10,6 +10,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/harness/calibrate.h"
 #include "src/harness/rig.h"
+#include "src/obs/obs.h"
 #include "src/tasks/backup.h"
 #include "src/tasks/defrag_task.h"
 #include "src/tasks/gc_task.h"
@@ -45,6 +46,11 @@ struct MaintenanceRunConfig {
   // scenario replays across baseline/Duet comparisons.
   FaultPlanConfig fault;
   uint64_t fault_seed = 1;
+  // Observability context for the run. When null, the runner creates a
+  // private context so every run starts with zeroed counters and a fresh
+  // trace fingerprint. A caller-provided context must outlive the run and
+  // accumulates across runs that share it.
+  obs::ObsContext* obs = nullptr;
 };
 
 struct MaintenanceRunResult {
@@ -60,7 +66,13 @@ struct MaintenanceRunResult {
   uint32_t fault_fingerprint = 0;  // FaultPlan::Fingerprint() for replay
   uint64_t scrub_repaired = 0;
   uint64_t scrub_unrecoverable = 0;
+  // End-of-run registry snapshot (the reporting source of truth) and the
+  // streaming FNV-1a fingerprint of every trace event the run emitted.
+  obs::MetricsSnapshot metrics;
+  uint64_t trace_fingerprint = 0;
 
+  // Table 4 metrics, read back from the registry snapshot (published by
+  // RunMaintenance under tasks.total.*).
   uint64_t TotalTaskIo() const;
   uint64_t TotalWork() const;     // the without-Duet maintenance I/O
   // Table 4's "I/O saved": fraction of the baseline maintenance I/O avoided.
@@ -84,7 +96,8 @@ struct RsyncRunResult {
   bool finished = false;
 };
 RsyncRunResult RunRsync(const StackConfig& stack, Personality personality,
-                        double coverage, bool skewed, bool use_duet, uint64_t seed);
+                        double coverage, bool skewed, bool use_duet, uint64_t seed,
+                        obs::ObsContext* obs = nullptr);
 
 // GC experiment (§6.2, Table 6): fileserver on logfs at a target utilization;
 // measures per-segment cleaning time.
@@ -98,7 +111,7 @@ struct GcRunResult {
 };
 GcRunResult RunGc(const StackConfig& stack, double target_util, bool use_duet,
                   uint64_t seed, double ops_per_sec = -1, bool unthrottled = false,
-                  bool skewed = false);
+                  bool skewed = false, obs::ObsContext* obs = nullptr);
 
 }  // namespace duet
 

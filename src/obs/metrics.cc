@@ -1,0 +1,212 @@
+#include "src/obs/metrics.h"
+
+#include <bit>
+#include <cassert>
+
+#include "src/util/format.h"
+
+namespace duet {
+namespace obs {
+
+void LogHistogram::Record(uint64_t sample) {
+  ++buckets_[std::bit_width(sample)];
+  ++count_;
+  sum_ += sample;
+  if (sample < min_) {
+    min_ = sample;
+  }
+  if (sample > max_) {
+    max_ = sample;
+  }
+}
+
+double LogHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p <= 0) {
+    return static_cast<double>(min());
+  }
+  if (p >= 100) {
+    return static_cast<double>(max_);
+  }
+  double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    if (static_cast<double>(seen + buckets_[i]) >= target) {
+      // Interpolate linearly within [lo, hi) = [2^(i-1), 2^i).
+      double lo = i == 0 ? 0 : static_cast<double>(1ull << (i - 1));
+      double hi = i == 0 ? 1 : lo * 2;
+      double frac = (target - static_cast<double>(seen)) /
+                    static_cast<double>(buckets_[i]);
+      double v = lo + frac * (hi - lo);
+      // Clamp to the observed range so tiny histograms stay sensible.
+      if (v < static_cast<double>(min())) {
+        v = static_cast<double>(min());
+      }
+      if (v > static_cast<double>(max_)) {
+        v = static_cast<double>(max_);
+      }
+      return v;
+    }
+    seen += buckets_[i];
+  }
+  return static_cast<double>(max_);
+}
+
+uint64_t MetricsSnapshot::Value(std::string_view name) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+int64_t MetricsSnapshot::GaugeValue(std::string_view name) const {
+  auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0 : it->second;
+}
+
+MetricsRegistry::Metric* MetricsRegistry::GetOrCreate(std::string_view name,
+                                                      Kind kind) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    assert(it->second.kind == kind);
+    return it->second.kind == kind ? &it->second : nullptr;
+  }
+  Metric m;
+  m.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      m.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      m.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      m.histogram = std::make_unique<LogHistogram>();
+      break;
+  }
+  return &metrics_.emplace(std::string(name), std::move(m)).first->second;
+}
+
+const MetricsRegistry::Metric* MetricsRegistry::Find(std::string_view name,
+                                                     Kind kind) const {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != kind) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  Metric* m = GetOrCreate(name, Kind::kCounter);
+  return m == nullptr ? nullptr : m->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  Metric* m = GetOrCreate(name, Kind::kGauge);
+  return m == nullptr ? nullptr : m->gauge.get();
+}
+
+LogHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  Metric* m = GetOrCreate(name, Kind::kHistogram);
+  return m == nullptr ? nullptr : m->histogram.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  const Metric* m = Find(name, Kind::kCounter);
+  return m == nullptr ? nullptr : m->counter.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  const Metric* m = Find(name, Kind::kGauge);
+  return m == nullptr ? nullptr : m->gauge.get();
+}
+
+const LogHistogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  const Metric* m = Find(name, Kind::kHistogram);
+  return m == nullptr ? nullptr : m->histogram.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  const Counter* c = FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, m] : metrics_) {
+    if (m.kind == Kind::kCounter) {
+      snap.counters[name] = m.counter->value();
+    } else if (m.kind == Kind::kGauge) {
+      snap.gauges[name] = m.gauge->value();
+    }
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::string out;
+  for (const auto& [name, m] : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+        out += StrFormat("counter %s %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(m.counter->value()));
+        break;
+      case Kind::kGauge:
+        out += StrFormat("gauge %s %lld\n", name.c_str(),
+                         static_cast<long long>(m.gauge->value()));
+        break;
+      case Kind::kHistogram: {
+        const LogHistogram& h = *m.histogram;
+        out += StrFormat(
+            "histogram %s count=%llu sum=%llu min=%llu max=%llu "
+            "p50=%.1f p95=%.1f p99=%.1f\n",
+            name.c_str(), static_cast<unsigned long long>(h.count()),
+            static_cast<unsigned long long>(h.sum()),
+            static_cast<unsigned long long>(h.min()),
+            static_cast<unsigned long long>(h.max()), h.P50(), h.P95(), h.P99());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, m] : metrics_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    switch (m.kind) {
+      case Kind::kCounter:
+        out += StrFormat("\"%s\":%llu", name.c_str(),
+                         static_cast<unsigned long long>(m.counter->value()));
+        break;
+      case Kind::kGauge:
+        out += StrFormat("\"%s\":%lld", name.c_str(),
+                         static_cast<long long>(m.gauge->value()));
+        break;
+      case Kind::kHistogram: {
+        const LogHistogram& h = *m.histogram;
+        out += StrFormat(
+            "\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+            "\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}",
+            name.c_str(), static_cast<unsigned long long>(h.count()),
+            static_cast<unsigned long long>(h.sum()),
+            static_cast<unsigned long long>(h.min()),
+            static_cast<unsigned long long>(h.max()), h.P50(), h.P95(), h.P99());
+        break;
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace duet

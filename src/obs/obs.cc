@@ -1,0 +1,26 @@
+#include "src/obs/obs.h"
+
+namespace duet {
+namespace obs {
+
+namespace {
+
+ObsContext* g_current = nullptr;
+
+ObsContext* DefaultObs() {
+  static ObsContext* instance = new ObsContext();  // leaked: outlives everything
+  return instance;
+}
+
+}  // namespace
+
+ObsContext* CurrentObs() {
+  return g_current != nullptr ? g_current : DefaultObs();
+}
+
+ObsScope::ObsScope(ObsContext* ctx) : prev_(g_current) { g_current = ctx; }
+
+ObsScope::~ObsScope() { g_current = prev_; }
+
+}  // namespace obs
+}  // namespace duet

@@ -1,0 +1,199 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "src/util/format.h"
+
+namespace duet {
+namespace obs {
+
+const char* TraceLayerName(TraceLayer layer) {
+  switch (layer) {
+    case TraceLayer::kSim:
+      return "sim";
+    case TraceLayer::kBlock:
+      return "block";
+    case TraceLayer::kCache:
+      return "cache";
+    case TraceLayer::kDuet:
+      return "duet";
+    case TraceLayer::kTask:
+      return "task";
+    case TraceLayer::kFault:
+      return "fault";
+    case TraceLayer::kWorkload:
+      return "workload";
+    case TraceLayer::kFs:
+      return "fs";
+  }
+  return "unknown";
+}
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kEventScheduled:
+      return "event_scheduled";
+    case TraceKind::kEventFired:
+      return "event_fired";
+    case TraceKind::kEventCancelled:
+      return "event_cancelled";
+    case TraceKind::kIoSubmit:
+      return "io_submit";
+    case TraceKind::kIoComplete:
+      return "io_complete";
+    case TraceKind::kPageAdded:
+      return "page_added";
+    case TraceKind::kPageRemoved:
+      return "page_removed";
+    case TraceKind::kPageDirtied:
+      return "page_dirtied";
+    case TraceKind::kPageFlushed:
+      return "page_flushed";
+    case TraceKind::kPageEvicted:
+      return "page_evicted";
+    case TraceKind::kSessionRegistered:
+      return "session_registered";
+    case TraceKind::kSessionDeregistered:
+      return "session_deregistered";
+    case TraceKind::kEventDelivered:
+      return "event_delivered";
+    case TraceKind::kEventDropped:
+      return "event_dropped";
+    case TraceKind::kItemFetched:
+      return "item_fetched";
+    case TraceKind::kDoneSet:
+      return "done_set";
+    case TraceKind::kDoneUnset:
+      return "done_unset";
+    case TraceKind::kTaskStarted:
+      return "task_started";
+    case TraceKind::kTaskFinished:
+      return "task_finished";
+    case TraceKind::kChunkStarted:
+      return "chunk_started";
+    case TraceKind::kChunkFinished:
+      return "chunk_finished";
+    case TraceKind::kRepair:
+      return "repair";
+    case TraceKind::kRetry:
+      return "retry";
+    case TraceKind::kFaultInjected:
+      return "fault_injected";
+    case TraceKind::kFaultArmed:
+      return "fault_armed";
+    case TraceKind::kFaultDetected:
+      return "fault_detected";
+    case TraceKind::kFaultRepaired:
+      return "fault_repaired";
+    case TraceKind::kFaultMasked:
+      return "fault_masked";
+    case TraceKind::kFaultUnrecoverable:
+      return "fault_unrecoverable";
+    case TraceKind::kOpIssued:
+      return "op_issued";
+    case TraceKind::kOpCompleted:
+      return "op_completed";
+  }
+  return "unknown";
+}
+
+std::string TraceEvent::ToJson() const {
+  return StrFormat(
+      "{\"t\":%llu,\"layer\":\"%s\",\"kind\":\"%s\",\"a\":%llu,\"b\":%llu,"
+      "\"c\":%llu}",
+      static_cast<unsigned long long>(at), TraceLayerName(layer),
+      TraceKindName(kind), static_cast<unsigned long long>(a),
+      static_cast<unsigned long long>(b), static_cast<unsigned long long>(c));
+}
+
+TraceRing::TraceRing(size_t capacity) : capacity_(capacity) {
+  assert(capacity_ > 0);
+  events_.resize(capacity_);
+}
+
+void TraceRing::OnTraceEvent(const TraceEvent& event) {
+  events_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) {
+    ++size_;
+  }
+  ++total_seen_;
+}
+
+void TraceRing::ForEach(const std::function<void(const TraceEvent&)>& fn) const {
+  for (size_t i = 0; i < size_; ++i) {
+    fn(at(i));
+  }
+}
+
+const TraceEvent& TraceRing::at(size_t i) const {
+  assert(i < size_);
+  // Oldest retained event sits at head_ when full, at 0 otherwise.
+  size_t start = size_ == capacity_ ? head_ : 0;
+  return events_[(start + i) % capacity_];
+}
+
+void TraceRing::Clear() {
+  head_ = 0;
+  size_ = 0;
+  total_seen_ = 0;
+}
+
+std::unique_ptr<JsonlTraceSink> JsonlTraceSink::Open(const std::string& path) {
+  FILE* file = fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return nullptr;
+  }
+  return std::unique_ptr<JsonlTraceSink>(new JsonlTraceSink(file));
+}
+
+JsonlTraceSink::~JsonlTraceSink() {
+  if (file_ != nullptr) {
+    fclose(file_);
+  }
+}
+
+void JsonlTraceSink::OnTraceEvent(const TraceEvent& event) {
+  std::string line = event.ToJson();
+  line += '\n';
+  fwrite(line.data(), 1, line.size(), file_);
+  ++events_written_;
+}
+
+void Tracer::Emit(SimTime at, TraceLayer layer, TraceKind kind, uint64_t a,
+                  uint64_t b, uint64_t c) {
+  ++events_emitted_;
+  if (fingerprint_enabled_) {
+    // FNV-1a over the event's six words, byte by byte, in wire order.
+    uint64_t words[6] = {at, static_cast<uint64_t>(layer),
+                         static_cast<uint64_t>(kind), a, b, c};
+    uint64_t h = fingerprint_;
+    for (uint64_t w : words) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (w >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+      }
+    }
+    fingerprint_ = h;
+  }
+  if (!sinks_.empty()) {
+    TraceEvent event{at, layer, kind, a, b, c};
+    for (TraceSink* sink : sinks_) {
+      sink->OnTraceEvent(event);
+    }
+  }
+}
+
+void Tracer::AddSink(TraceSink* sink) {
+  assert(sink != nullptr);
+  sinks_.push_back(sink);
+}
+
+void Tracer::RemoveSink(TraceSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+}  // namespace obs
+}  // namespace duet

@@ -5,6 +5,12 @@
 
 namespace duet {
 
+EventLoop::EventLoop()
+    : obs_(obs::CurrentObs()),
+      ctr_scheduled_(obs_->metrics.GetCounter("sim.events.scheduled")),
+      ctr_fired_(obs_->metrics.GetCounter("sim.events.fired")),
+      ctr_cancelled_(obs_->metrics.GetCounter("sim.events.cancelled")) {}
+
 EventId EventLoop::ScheduleAt(SimTime when, std::function<void()> fn) {
   assert(fn != nullptr);
   if (when < now_) {
@@ -13,6 +19,9 @@ EventId EventLoop::ScheduleAt(SimTime when, std::function<void()> fn) {
   EventId id = next_id_++;
   heap_.push(Entry{when, id, std::move(fn)});
   pending_ids_.insert(id);
+  ctr_scheduled_->Add();
+  obs_->trace.Emit(now_, obs::TraceLayer::kSim, obs::TraceKind::kEventScheduled,
+                   id, when);
   return id;
 }
 
@@ -20,7 +29,15 @@ EventId EventLoop::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
-bool EventLoop::Cancel(EventId id) { return pending_ids_.erase(id) > 0; }
+bool EventLoop::Cancel(EventId id) {
+  if (pending_ids_.erase(id) == 0) {
+    return false;
+  }
+  ctr_cancelled_->Add();
+  obs_->trace.Emit(now_, obs::TraceLayer::kSim, obs::TraceKind::kEventCancelled,
+                   id);
+  return true;
+}
 
 bool EventLoop::SkimCancelled() {
   while (!heap_.empty() && pending_ids_.count(heap_.top().id) == 0) {
@@ -39,6 +56,9 @@ bool EventLoop::RunOne() {
   assert(top.when >= now_);
   now_ = top.when;
   ++executed_;
+  ctr_fired_->Add();
+  obs_->trace.Emit(now_, obs::TraceLayer::kSim, obs::TraceKind::kEventFired,
+                   top.id);
   top.fn();
   return true;
 }

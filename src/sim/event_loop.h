@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/sim/time.h"
 
 namespace duet {
@@ -22,7 +23,7 @@ inline constexpr EventId kInvalidEvent = 0;
 
 class EventLoop {
  public:
-  EventLoop() = default;
+  EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
@@ -72,6 +73,12 @@ class EventLoop {
   SimTime now_ = 0;
   EventId next_id_ = 1;
   uint64_t executed_ = 0;
+  // Captured at construction so a stack built under an ObsScope keeps
+  // reporting into that scope's context for its whole lifetime.
+  obs::ObsContext* obs_;
+  obs::Counter* ctr_scheduled_;
+  obs::Counter* ctr_fired_;
+  obs::Counter* ctr_cancelled_;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   // Ids that are scheduled and not yet run or cancelled. A heap entry whose
   // id is absent here is a cancelled tombstone and is skipped.

@@ -20,6 +20,7 @@ void Backup::Start(std::function<void()> on_finish) {
   running_ = true;
   stats_ = TaskStats{};
   stats_.started_at = fs_->loop().now();
+  tobs_.Started(stats_.started_at);
   fs_->CreateSnapshotAsync([this](Result<SnapshotId> snap) {
     if (!snap.ok() || !running_) {
       running_ = false;
@@ -84,7 +85,7 @@ bool Backup::MarkSent(InodeNo ino, PageIdx idx) {
 }
 
 void Backup::DrainDuetEvents() {
-  ++stats_.fetch_calls;
+  tobs_.FetchCall();
   const CowFs::Snapshot* snap = fs_->GetSnapshot(snapshot_);
   DrainEvents(*duet_, sid_, [this, snap](const DuetItem& item) {
     if (!item.has(kDuetPageExists)) {
@@ -118,6 +119,7 @@ void Backup::DrainDuetEvents() {
 void Backup::FinishRun() {
   stats_.finished = true;
   stats_.finished_at = fs_->loop().now();
+  tobs_.Finished(stats_.finished_at, stats_.work_done);
   running_ = false;
   if (poll_event_ != kInvalidEvent) {
     fs_->loop().Cancel(poll_event_);
@@ -182,6 +184,7 @@ void Backup::ProcessFileChunk(InodeNo ino, PageIdx next_page) {
   }
   uint64_t count = end - p;
 
+  tobs_.ChunkStarted(fs_->loop().now(), ino, count);
   auto complete = [this, ino, p, end](uint64_t read_pages, uint64_t cached_pages) {
     if (!running_) {
       return;  // the run finished (opportunistically) or was stopped
@@ -193,6 +196,7 @@ void Backup::ProcessFileChunk(InodeNo ino, PageIdx next_page) {
     }
     stats_.io_read_pages += read_pages;
     stats_.saved_read_pages += cached_pages;
+    tobs_.ChunkFinished(fs_->loop().now(), ino, end - p);
     ProcessFileChunk(ino, end);
   };
 

@@ -15,6 +15,7 @@
 
 #include "src/cowfs/cowfs.h"
 #include "src/duet/duet_core.h"
+#include "src/tasks/task_obs.h"
 #include "src/tasks/task_stats.h"
 
 namespace duet {
@@ -67,6 +68,7 @@ class Backup {
   // Per file: bitmap of sent pages (tracked outside Duet so completion can
   // be verified independently of the hint layer).
   std::map<InodeNo, std::vector<bool>> sent_;
+  TaskObs tobs_{"backup", TaskTag::kBackup};
   TaskStats stats_;
   std::function<void()> on_finish_;
 };

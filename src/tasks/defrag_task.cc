@@ -19,6 +19,7 @@ void DefragTask::Start(std::function<void()> on_finish) {
   running_ = true;
   stats_ = TaskStats{};
   stats_.started_at = fs_->loop().now();
+  tobs_.Started(stats_.started_at);
 
   // Collect fragmented files in inode order (the baseline processing order,
   // Table 3). Work units are pages: each fragmented file costs read+write of
@@ -68,7 +69,7 @@ void DefragTask::Stop() {
 }
 
 void DefragTask::DrainDuetEvents() {
-  ++stats_.fetch_calls;
+  tobs_.FetchCall();
   DrainEvents(*duet_, sid_, *queue_, config_.fetch_batch);
 }
 
@@ -85,6 +86,7 @@ bool DefragTask::ShouldProcess(InodeNo ino) const {
 void DefragTask::FinishRun() {
   stats_.finished = true;
   stats_.finished_at = fs_->loop().now();
+  tobs_.Finished(stats_.finished_at, stats_.work_done);
   running_ = false;
   if (sid_ != kInvalidSession) {
     (void)duet_->Deregister(sid_);
@@ -128,8 +130,10 @@ void DefragTask::ProcessNext() {
 }
 
 void DefragTask::DefragOne(InodeNo ino, bool opportunistic) {
+  tobs_.ChunkStarted(fs_->loop().now(), ino, 0);
   fs_->DefragFile(ino, config_.io_class, [this, ino,
                                           opportunistic](const DefragResult& result) {
+    tobs_.ChunkFinished(fs_->loop().now(), ino, result.pages);
     if (result.status.ok()) {
       ++files_defragmented_;
       stats_.work_done += 2 * result.pages;

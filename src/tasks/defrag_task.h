@@ -17,6 +17,7 @@
 #include "src/cowfs/cowfs.h"
 #include "src/duet/duet_core.h"
 #include "src/duet/duet_library.h"
+#include "src/tasks/task_obs.h"
 #include "src/tasks/task_stats.h"
 
 namespace duet {
@@ -58,6 +59,7 @@ class DefragTask {
   size_t cursor_ = 0;
   std::unique_ptr<InodePriorityQueue> queue_;
   uint64_t files_defragmented_ = 0;
+  TaskObs tobs_{"defrag", TaskTag::kDefrag};
   TaskStats stats_;
   std::function<void()> on_finish_;
 };

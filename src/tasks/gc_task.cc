@@ -20,6 +20,7 @@ void GcTask::Start() {
   running_ = true;
   stats_ = TaskStats{};
   stats_.started_at = fs_->loop().now();
+  tobs_.Started(stats_.started_at);
   if (config_.use_duet) {
     Result<SessionId> sid =
         duet_->RegisterBlockTask(kDuetPageExists | kDuetPageFlushed);
@@ -30,6 +31,9 @@ void GcTask::Start() {
 }
 
 void GcTask::Stop() {
+  if (running_) {
+    tobs_.Finished(fs_->loop().now(), stats_.work_done);
+  }
   running_ = false;
   if (tick_event_ != kInvalidEvent) {
     fs_->loop().Cancel(tick_event_);
@@ -42,7 +46,7 @@ void GcTask::Stop() {
 }
 
 void GcTask::DrainDuetEvents() {
-  ++stats_.fetch_calls;
+  tobs_.FetchCall();
   DrainEvents(*duet_, sid_, [this](const DuetItem& item) {
     SegmentNo seg = fs_->SegmentOf(item.id);
     if (seg >= cached_.size()) {
@@ -132,8 +136,10 @@ void GcTask::Tick() {
     return;
   }
   cleaning_ = true;
+  tobs_.ChunkStarted(now, *victim, 0);
   fs_->CleanSegment(*victim, config_.io_class, [this, reschedule](const CleanResult& r) {
     cleaning_ = false;
+    tobs_.ChunkFinished(fs_->loop().now(), r.segment, r.blocks_moved);
     if (r.status.ok() && r.blocks_moved > 0) {
       ++segments_cleaned_;
       cleaning_time_ms_.Add(ToMillis(r.duration));

@@ -17,6 +17,7 @@
 
 #include "src/duet/duet_core.h"
 #include "src/logfs/logfs.h"
+#include "src/tasks/task_obs.h"
 #include "src/tasks/task_stats.h"
 #include "src/util/stats.h"
 
@@ -74,6 +75,7 @@ class GcTask {
   std::unordered_map<std::pair<InodeNo, PageIdx>, SegmentNo, PageKeyHash> counted_;
   uint64_t segments_cleaned_ = 0;
   RunningStats cleaning_time_ms_;
+  TaskObs tobs_{"gc", TaskTag::kGc};
   TaskStats stats_;
 };
 

@@ -22,6 +22,7 @@ void IncrementalBackup::BeginEpoch() {
   running_ = true;
   stats_ = TaskStats{};
   stats_.started_at = fs_->loop().now();
+  tobs_.Started(stats_.started_at);
   captured_.clear();
   fs_->CreateSnapshotAsync([this](Result<SnapshotId> snap) {
     assert(snap.ok());
@@ -40,7 +41,7 @@ void IncrementalBackup::BeginEpoch() {
 }
 
 void IncrementalBackup::DrainDuetEvents() {
-  ++stats_.fetch_calls;
+  tobs_.FetchCall();
   DrainEvents(*duet_, sid_, [this](const DuetItem& item) {
     if (!item.has(kDuetPageFlushed)) {
       return;  // page became dirty: content still in flux
@@ -132,6 +133,7 @@ void IncrementalBackup::ProcessDiff() {
   if (pending_cursor_ >= pending_reads_.size()) {
     stats_.finished = true;
     stats_.finished_at = fs_->loop().now();
+    tobs_.Finished(stats_.finished_at, stats_.work_done);
     epoch_open_ = false;
     if (on_finish_) {
       on_finish_();
@@ -147,6 +149,7 @@ void IncrementalBackup::ProcessDiff() {
   }
   size_t first = pending_cursor_;
   pending_cursor_ = end;
+  tobs_.ChunkStarted(fs_->loop().now(), first, end - first);
   fs_->ReadBlocks(std::move(blocks), config_.io_class,
                   [this, first, end](const RawReadResult& result) {
                     if (!running_) {
@@ -157,6 +160,7 @@ void IncrementalBackup::ProcessDiff() {
                         batch_retry_ < config_.max_retries) {
                       // Device busy window: retry the batch with backoff.
                       ++batch_retry_;
+                      tobs_.Retry(fs_->loop().now(), first, batch_retry_);
                       pending_cursor_ = first;
                       fs_->loop().ScheduleAfter(
                           config_.retry_backoff * (SimDuration{1} << (batch_retry_ - 1)),
@@ -164,6 +168,7 @@ void IncrementalBackup::ProcessDiff() {
                       return;
                     }
                     batch_retry_ = 0;
+                    tobs_.ChunkFinished(fs_->loop().now(), first, end - first);
                     for (size_t i = first; i < end; ++i) {
                       // Blocks that failed to read or verify are not
                       // captured; the next increment retries them.

@@ -19,6 +19,7 @@
 
 #include "src/cowfs/cowfs.h"
 #include "src/duet/duet_core.h"
+#include "src/tasks/task_obs.h"
 #include "src/tasks/task_stats.h"
 
 namespace duet {
@@ -90,6 +91,7 @@ class IncrementalBackup {
   std::vector<std::pair<PageKey, BlockNo>> pending_reads_;
   size_t pending_cursor_ = 0;
   uint32_t batch_retry_ = 0;  // consecutive transient retries of this batch
+  TaskObs tobs_{"inc_backup", TaskTag::kIncBackup};
   TaskStats stats_;
   std::function<void()> on_finish_;
 };

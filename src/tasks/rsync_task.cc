@@ -40,6 +40,7 @@ void RsyncTask::Start(std::function<void()> on_finish) {
   running_ = true;
   stats_ = TaskStats{};
   stats_.started_at = src_->loop().now();
+  tobs_.Started(stats_.started_at);
 
   Result<InodeNo> root = src_->ns().Resolve(config_.source_dir);
   assert(root.ok());
@@ -82,13 +83,14 @@ void RsyncTask::Stop() {
 }
 
 void RsyncTask::DrainDuetEvents() {
-  ++stats_.fetch_calls;
+  tobs_.FetchCall();
   DrainEvents(*duet_, sid_, *queue_, config_.fetch_batch);
 }
 
 void RsyncTask::FinishRun() {
   stats_.finished = true;
   stats_.finished_at = src_->loop().now();
+  tobs_.Finished(stats_.finished_at, stats_.work_done);
   running_ = false;
   if (sid_ != kInvalidSession) {
     (void)duet_->Deregister(sid_);
@@ -205,6 +207,7 @@ void RsyncTask::CopyChunk(InodeNo src_ino, InodeNo dst_ino, PageIdx next_page,
   uint64_t count = std::min<uint64_t>(config_.chunk_pages, total_pages - next_page);
   ByteOff off = next_page * kPageSize;
   uint64_t len = std::min<uint64_t>(count * kPageSize, src_size - off);
+  tobs_.ChunkStarted(src_->loop().now(), src_ino, count);
   src_->Read(src_ino, off, len, config_.io_class,
              [this, src_ino, dst_ino, next_page, count, src_size, off, len,
               opportunistic](const FsIoResult& read) {
@@ -223,6 +226,7 @@ void RsyncTask::CopyChunk(InodeNo src_ino, InodeNo dst_ino, PageIdx next_page,
                              opportunistic](const FsIoResult& write) {
                               stats_.io_write_pages += write.pages_requested;
                               stats_.work_done += write.pages_requested;
+                              tobs_.ChunkFinished(src_->loop().now(), src_ino, count);
                               CopyChunk(src_ino, dst_ino, next_page + count,
                                         src_size, opportunistic);
                             });

@@ -24,6 +24,7 @@
 #include "src/duet/duet_library.h"
 #include "src/duet/inotify.h"
 #include "src/fs/file_system.h"
+#include "src/tasks/task_obs.h"
 #include "src/tasks/task_stats.h"
 
 namespace duet {
@@ -84,6 +85,7 @@ class RsyncTask {
   std::deque<InodeNo> recent_;
   uint64_t watches_created_ = 0;
   uint64_t files_synced_ = 0;
+  TaskObs tobs_{"rsync", TaskTag::kRsync};
   TaskStats stats_;
   std::function<void()> on_finish_;
 };

@@ -23,6 +23,7 @@ void Scrubber::Start(std::function<void()> on_finish) {
   stats_ = TaskStats{};
   stats_.started_at = fs_->loop().now();
   stats_.work_total = fs_->allocated_blocks();
+  tobs_.Started(stats_.started_at);
   cursor_ = 0;
   accounting_final_ = false;
   if (config_.use_duet) {
@@ -79,6 +80,7 @@ void Scrubber::Finish() {
   } else {
     stats_.work_done = stats_.io_read_pages;
   }
+  tobs_.Finished(stats_.finished_at, stats_.work_done);
   if (sid_ != kInvalidSession) {
     (void)duet_->Deregister(sid_);
     sid_ = kInvalidSession;
@@ -89,7 +91,7 @@ void Scrubber::Finish() {
 }
 
 void Scrubber::DrainDuetEvents() {
-  ++stats_.fetch_calls;
+  tobs_.FetchCall();
   DrainEvents(*duet_, sid_, [this](const DuetItem& item) {
     if (item.has(kDuetPageDirtied)) {
       // Content changed: the (possibly relocated) block needs re-verifying.
@@ -165,6 +167,7 @@ void Scrubber::ProcessNextChunk() {
     ++b;
   }
   const uint64_t epoch = epoch_;
+  tobs_.ChunkStarted(fs_->loop().now(), start, count);
   fs_->ReadRawBlocks(start, count, config_.io_class, config_.populate_cache,
                      [this, start, count, epoch](const RawReadResult& result) {
                        if (!running_ || epoch != epoch_) {
@@ -179,6 +182,7 @@ void Scrubber::ProcessNextChunk() {
                                config_.retry_backoff * (SimDuration{1} << chunk_retry_);
                            ++chunk_retry_;
                            ++transient_retries_;
+                           tobs_.Retry(fs_->loop().now(), start, chunk_retry_);
                            fs_->loop().ScheduleAfter(backoff, [this, epoch] {
                              if (epoch == epoch_) {
                                ProcessNextChunk();
@@ -197,6 +201,7 @@ void Scrubber::ProcessNextChunk() {
                        read_errors_ += result.read_errors;
                        stats_.work_done += result.blocks_read;
                        cursor_ = start + count;
+                       tobs_.ChunkFinished(fs_->loop().now(), start, count);
                        auto resume = [this, start, count, epoch] {
                          if (!running_ || epoch != epoch_) {
                            return;
@@ -219,6 +224,8 @@ void Scrubber::ProcessNextChunk() {
                              [this, resume](const CowFs::RepairResult& r) {
                                blocks_repaired_ += r.repaired();
                                blocks_unrecoverable_ += r.unrecoverable;
+                               tobs_.Repairs(fs_->loop().now(), r.repaired(),
+                                             r.unrecoverable);
                                stats_.io_read_pages += r.device_reads;
                                stats_.io_write_pages += r.device_writes;
                                resume();

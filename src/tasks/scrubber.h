@@ -15,6 +15,7 @@
 
 #include "src/cowfs/cowfs.h"
 #include "src/duet/duet_core.h"
+#include "src/tasks/task_obs.h"
 #include "src/tasks/task_stats.h"
 
 namespace duet {
@@ -91,6 +92,7 @@ class Scrubber {
   uint64_t blocks_unrecoverable_ = 0;
   uint64_t transient_retries_ = 0;
   uint32_t chunk_retry_ = 0;  // consecutive transient retries of this chunk
+  TaskObs tobs_{"scrub", TaskTag::kScrub};
   TaskStats stats_;
   std::function<void()> on_finish_;
 };

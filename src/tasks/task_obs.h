@@ -1,0 +1,92 @@
+// Per-task observability: registry counters under tasks.<name>.* plus trace
+// helpers that stamp every event with a stable numeric task tag. Each
+// maintenance task owns one TaskObs; construction captures the ambient
+// ObsContext, so a task built under an ObsScope keeps reporting into that
+// scope's context for its whole lifetime.
+#ifndef SRC_TASKS_TASK_OBS_H_
+#define SRC_TASKS_TASK_OBS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/obs/obs.h"
+#include "src/sim/time.h"
+#include "src/util/types.h"
+
+namespace duet {
+
+// Trace payload tags (wire format; do not renumber existing entries).
+enum class TaskTag : uint64_t {
+  kScrub = 1,
+  kBackup = 2,
+  kIncBackup = 3,
+  kDefrag = 4,
+  kGc = 5,
+  kRsync = 6,
+  kVirusScan = 7,
+};
+
+class TaskObs {
+ public:
+  TaskObs(std::string_view name, TaskTag tag)
+      : obs_(obs::CurrentObs()), tag_(static_cast<uint64_t>(tag)) {
+    std::string prefix = "tasks.";
+    prefix += name;
+    prefix += '.';
+    started_ = obs_->metrics.GetCounter(prefix + "started");
+    finished_ = obs_->metrics.GetCounter(prefix + "finished");
+    chunks_ = obs_->metrics.GetCounter(prefix + "chunks");
+    repairs_ = obs_->metrics.GetCounter(prefix + "repairs");
+    retries_ = obs_->metrics.GetCounter(prefix + "retries");
+    fetch_calls_ = obs_->metrics.GetCounter(prefix + "fetch_calls");
+  }
+
+  void Started(SimTime at) {
+    started_->Add();
+    obs_->trace.Emit(at, obs::TraceLayer::kTask, obs::TraceKind::kTaskStarted,
+                     tag_);
+  }
+  void Finished(SimTime at, uint64_t work_done) {
+    finished_->Add();
+    obs_->trace.Emit(at, obs::TraceLayer::kTask, obs::TraceKind::kTaskFinished,
+                     tag_, work_done);
+  }
+  void ChunkStarted(SimTime at, uint64_t start, uint64_t count) {
+    obs_->trace.Emit(at, obs::TraceLayer::kTask, obs::TraceKind::kChunkStarted,
+                     tag_, start, count);
+  }
+  void ChunkFinished(SimTime at, uint64_t start, uint64_t count) {
+    chunks_->Add();
+    obs_->trace.Emit(at, obs::TraceLayer::kTask, obs::TraceKind::kChunkFinished,
+                     tag_, start, count);
+  }
+  // One repair round: `repaired` blocks rewritten, `unrecoverable` left bad.
+  void Repairs(SimTime at, uint64_t repaired, uint64_t unrecoverable) {
+    repairs_->Add(repaired);
+    obs_->trace.Emit(at, obs::TraceLayer::kTask, obs::TraceKind::kRepair, tag_,
+                     repaired, unrecoverable);
+  }
+  void Retry(SimTime at, uint64_t start, uint64_t attempt) {
+    retries_->Add();
+    obs_->trace.Emit(at, obs::TraceLayer::kTask, obs::TraceKind::kRetry, tag_,
+                     start, attempt);
+  }
+  void FetchCall() { fetch_calls_->Add(); }
+
+  uint64_t tag() const { return tag_; }
+
+ private:
+  obs::ObsContext* obs_;
+  uint64_t tag_;
+  obs::Counter* started_;
+  obs::Counter* finished_;
+  obs::Counter* chunks_;
+  obs::Counter* repairs_;
+  obs::Counter* retries_;
+  obs::Counter* fetch_calls_;
+};
+
+}  // namespace duet
+
+#endif  // SRC_TASKS_TASK_OBS_H_

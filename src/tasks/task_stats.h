@@ -17,7 +17,6 @@ struct TaskStats {
   uint64_t saved_read_pages = 0;   // reads avoided thanks to cached data
   uint64_t saved_write_pages = 0;  // writes avoided (already-dirty pages)
   uint64_t opportunistic_units = 0;  // units processed out of order
-  uint64_t fetch_calls = 0;
   bool finished = false;
   SimTime started_at = 0;
   SimTime finished_at = 0;

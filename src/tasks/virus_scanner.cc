@@ -19,6 +19,7 @@ void VirusScanner::Start(std::function<void()> on_finish) {
   running_ = true;
   stats_ = TaskStats{};
   stats_.started_at = fs_->loop().now();
+  tobs_.Started(stats_.started_at);
   files_scanned_ = 0;
   infected_.clear();
 
@@ -58,7 +59,7 @@ void VirusScanner::Stop() {
 }
 
 void VirusScanner::DrainDuetEvents() {
-  ++stats_.fetch_calls;
+  tobs_.FetchCall();
   DrainEvents(*duet_, sid_, *queue_, config_.fetch_batch);
 }
 
@@ -75,6 +76,7 @@ void VirusScanner::PollTick() {
 void VirusScanner::FinishRun() {
   stats_.finished = true;
   stats_.finished_at = fs_->loop().now();
+  tobs_.Finished(stats_.finished_at, stats_.work_done);
   running_ = false;
   if (poll_event_ != kInvalidEvent) {
     fs_->loop().Cancel(poll_event_);
@@ -150,6 +152,7 @@ void VirusScanner::ScanChunk(InodeNo ino, PageIdx next_page, uint64_t size,
   uint64_t count = std::min<uint64_t>(config_.chunk_pages, total_pages - next_page);
   ByteOff off = next_page * kPageSize;
   uint64_t len = std::min<uint64_t>(count * kPageSize, size - off);
+  tobs_.ChunkStarted(fs_->loop().now(), ino, count);
   fs_->Read(ino, off, len, config_.io_class,
             [this, ino, next_page, count, size, opportunistic](const FsIoResult& read) {
               if (!running_) {
@@ -158,6 +161,7 @@ void VirusScanner::ScanChunk(InodeNo ino, PageIdx next_page, uint64_t size,
               stats_.io_read_pages += read.pages_from_disk;
               stats_.saved_read_pages += read.pages_from_cache;
               stats_.work_done += read.pages_requested;
+              tobs_.ChunkFinished(fs_->loop().now(), ino, count);
               // Match each page's content against the signature set.
               for (PageIdx q = next_page; q < next_page + count; ++q) {
                 Result<uint64_t> content = fs_->PageContent(ino, q);

@@ -19,6 +19,7 @@
 #include "src/duet/duet_core.h"
 #include "src/duet/duet_library.h"
 #include "src/fs/file_system.h"
+#include "src/tasks/task_obs.h"
 #include "src/tasks/task_stats.h"
 
 namespace duet {
@@ -68,6 +69,7 @@ class VirusScanner {
   std::unordered_set<uint64_t> signatures_;
   std::vector<InodeNo> infected_;
   uint64_t files_scanned_ = 0;
+  TaskObs tobs_{"virus_scan", TaskTag::kVirusScan};
   TaskStats stats_;
   std::function<void()> on_finish_;
 };

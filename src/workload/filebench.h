@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/fs/file_system.h"
+#include "src/obs/obs.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/zipf.h"
@@ -111,6 +112,14 @@ class FilebenchWorkload {
 
   FileSystem* fs_;
   WorkloadConfig config_;
+  obs::ObsContext* obs_;
+  obs::Counter* ctr_issued_;
+  obs::Counter* ctr_completed_;
+  obs::Counter* ctr_reads_;
+  obs::Counter* ctr_writes_;
+  obs::Counter* ctr_pages_read_;
+  obs::Counter* ctr_pages_written_;
+  obs::LogHistogram* hist_latency_us_;
   Rng rng_;
   std::unique_ptr<ZipfSampler> zipf_;
   std::vector<InodeNo> covered_;  // files the workload may touch

@@ -248,6 +248,17 @@ TEST(FaultReplayProperty, IdenticalRunsProduceIdenticalCounters) {
   EXPECT_EQ(a.scrub_repaired, b.scrub_repaired);
   EXPECT_EQ(a.scrub_unrecoverable, b.scrub_unrecoverable);
   EXPECT_EQ(a.workload_ops, b.workload_ops);
+
+  // The strongest replay check: the structured traces — every injection,
+  // detection, repair, I/O, and cache event, in order — are byte-identical.
+  EXPECT_NE(a.trace_fingerprint, obs::Tracer::kFnvOffset);
+  EXPECT_EQ(a.trace_fingerprint, b.trace_fingerprint);
+
+  // And a different fault seed diverges the trace, not just the plan.
+  config.fault_seed = 100;
+  MaintenanceRunResult c = RunMaintenance(config);
+  EXPECT_NE(c.fault_fingerprint, a.fault_fingerprint);
+  EXPECT_NE(c.trace_fingerprint, a.trace_fingerprint);
 }
 
 // A different fault seed must change the schedule (no hidden coupling to the

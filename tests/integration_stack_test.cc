@@ -5,11 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "src/cowfs/cowfs.h"
 #include "src/duet/duet_core.h"
 #include "src/logfs/logfs.h"
+#include "src/obs/obs.h"
+#include "src/tasks/scrubber.h"
 #include "src/util/format.h"
 #include "src/util/rng.h"
 #include "tests/sim_fixture.h"
@@ -243,6 +246,89 @@ TEST(IntegrationStackTest, LogFsSurvivesChurnAndCleaning) {
   fs.writeback().Sync(nullptr);
   rig.loop.Run();
   CheckLogFsInvariants(fs);
+}
+
+// Registry conservation laws: after churn + a completed scrub + a full sync,
+// the metric counters must balance exactly — every page added was removed or
+// is still resident, every dirtying was flushed or left with its page, and
+// Duet's delivery pipeline accounts for every event.
+TEST(IntegrationStackTest, MetricsConservationLawsAtQuiescence) {
+  obs::ObsContext ctx;
+  obs::ObsScope scope(&ctx);
+  Rng rng(303);
+  SimRig rig(200'000, Micros(50));
+  // Small cache so eviction paths run during the churn.
+  CowFs fs(&rig.loop, &rig.device, /*cache_pages=*/128);
+  DuetCore duet(&fs);
+  SessionId sid = *duet.RegisterBlockTask(kDuetPageExists | kDuetPageModified);
+
+  std::vector<InodeNo> files;
+  for (int i = 0; i < 15; ++i) {
+    files.push_back(*fs.PopulateFile(StrFormat("/f%d", i),
+                                     (4 + rng.Uniform(20)) * kPageSize));
+  }
+  for (int op = 0; op < 150; ++op) {
+    uint64_t pick = rng.Uniform(100);
+    InodeNo ino = files[rng.Uniform(files.size())];
+    if (pick < 45) {
+      const Inode* inode = fs.ns().Get(ino);
+      fs.Read(ino, 0, inode->size, IoClass::kBestEffort, nullptr);
+    } else if (pick < 85) {
+      fs.Write(ino, 0, 2 * kPageSize, IoClass::kBestEffort, nullptr);
+    } else if (pick < 92 && files.size() > 5) {
+      // Deleting dirty files exercises the removed_dirty leg of the law.
+      auto it = std::find(files.begin(), files.end(), ino);
+      ASSERT_TRUE(fs.DeleteFile(ino).ok());
+      *it = files.back();
+      files.pop_back();
+    } else {
+      (void)duet.Fetch(sid, 256);
+    }
+    rig.loop.RunUntil(rig.loop.now() + Millis(rng.Uniform(10)));
+  }
+
+  // A full Duet scrub pass, run to completion with nothing else going on.
+  ScrubberConfig sc;
+  sc.use_duet = true;
+  Scrubber scrub(&fs, &duet, sc);
+  bool finished = false;
+  scrub.Start([&] { finished = true; });
+  rig.loop.Run();
+  ASSERT_TRUE(finished);
+
+  // Quiesce: flush every dirty page.
+  fs.writeback().Sync(nullptr);
+  rig.loop.Run();
+  ASSERT_EQ(fs.cache().DirtyCount(), 0u);
+
+  obs::MetricsSnapshot snap = ctx.metrics.Snapshot();
+  // Page conservation: every page ever added was removed or is resident.
+  EXPECT_EQ(snap.Value("cache.added"),
+            snap.Value("cache.removed") + fs.cache().PageCount());
+  // Dirty conservation (no dirty residents after sync): every clean->dirty
+  // transition was either flushed or carried out with its page.
+  EXPECT_EQ(snap.Value("cache.dirtied"),
+            snap.Value("cache.flushed") + snap.Value("cache.removed_dirty"));
+  // Evictions are a subset of removals.
+  EXPECT_LE(snap.Value("cache.evictions"), snap.Value("cache.removed"));
+  EXPECT_GT(snap.Value("cache.evictions"), 0u);  // the small cache did evict
+
+  // Duet pipeline accounting: the registry mirrors DuetStats exactly, drops
+  // are explicit, and fetch merging can only shrink the delivered stream.
+  EXPECT_EQ(snap.Value("duet.hooks"), duet.stats().hook_invocations);
+  EXPECT_EQ(snap.Value("duet.events.delivered"), duet.stats().descriptor_updates);
+  EXPECT_EQ(snap.Value("duet.events.dropped"), duet.stats().events_dropped);
+  EXPECT_EQ(snap.Value("duet.items.fetched"), duet.stats().items_fetched);
+  EXPECT_LE(snap.Value("duet.items.fetched"), snap.Value("duet.events.delivered"));
+
+  // Scrub coverage: the finished pass verified (read or free-rode) every
+  // allocated block it set out to cover.
+  const TaskStats& s = scrub.stats();
+  EXPECT_TRUE(s.finished);
+  EXPECT_EQ(s.work_done, s.work_total);
+  EXPECT_GE(s.io_read_pages + s.saved_read_pages, s.work_total);
+  EXPECT_EQ(snap.Value("tasks.scrub.started"), 1u);
+  EXPECT_EQ(snap.Value("tasks.scrub.finished"), 1u);
 }
 
 TEST(IntegrationStackTest, DeterministicEndToEnd) {

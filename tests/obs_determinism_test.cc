@@ -1,0 +1,104 @@
+// Golden-trace determinism: the structured trace (and therefore its FNV-1a
+// fingerprint) must be a pure function of the simulation inputs. Two runs of
+// the full stack with identical configuration and seeds must produce
+// byte-identical event streams; changing any seed must diverge them.
+
+#include <gtest/gtest.h>
+
+#include "src/harness/runner.h"
+#include "src/obs/obs.h"
+
+namespace duet {
+namespace {
+
+StackConfig TinyStack() {
+  StackConfig stack;
+  stack.capacity_blocks = 40'960;           // 160 MiB device
+  stack.data_bytes = 128ull * 1024 * 1024;  // 128 MiB data
+  stack.cache_pages = 656;                  // ~2%
+  stack.window = Seconds(6);
+  stack.mean_file_size = 256 * 1024;
+  return stack;
+}
+
+MaintenanceRunConfig BaseConfig() {
+  MaintenanceRunConfig config;
+  config.stack = TinyStack();
+  config.tasks = {MaintKind::kScrub};
+  config.use_duet = true;
+  config.target_util = 0.3;
+  config.ops_per_sec = 40;  // fixed rate: no calibration runs
+  config.seed = 42;
+  return config;
+}
+
+TEST(GoldenTraceTest, SameSeedSameFingerprint) {
+  MaintenanceRunResult first = RunMaintenance(BaseConfig());
+  MaintenanceRunResult second = RunMaintenance(BaseConfig());
+  EXPECT_NE(first.trace_fingerprint, 0u);
+  EXPECT_EQ(first.trace_fingerprint, second.trace_fingerprint);
+  // The registry snapshot is part of the determinism contract too.
+  EXPECT_EQ(first.metrics.counters, second.metrics.counters);
+  EXPECT_EQ(first.metrics.gauges, second.metrics.gauges);
+}
+
+TEST(GoldenTraceTest, DifferentSeedDivergesFingerprint) {
+  MaintenanceRunConfig config = BaseConfig();
+  MaintenanceRunResult first = RunMaintenance(config);
+  config.seed = 43;
+  MaintenanceRunResult second = RunMaintenance(config);
+  EXPECT_NE(first.trace_fingerprint, second.trace_fingerprint);
+}
+
+TEST(GoldenTraceTest, CallerContextAccumulatesAcrossRuns) {
+  obs::ObsContext ctx;
+  MaintenanceRunConfig config = BaseConfig();
+  config.obs = &ctx;
+  MaintenanceRunResult first = RunMaintenance(config);
+  uint64_t after_one = ctx.trace.Fingerprint();
+  EXPECT_EQ(first.trace_fingerprint, after_one);
+  MaintenanceRunResult second = RunMaintenance(config);
+  // The shared context keeps folding: the second result's fingerprint covers
+  // both runs and differs from the single-run value.
+  EXPECT_NE(second.trace_fingerprint, after_one);
+  EXPECT_EQ(second.trace_fingerprint, ctx.trace.Fingerprint());
+  EXPECT_GE(ctx.metrics.Snapshot().Value("tasks.total.work"),
+            first.metrics.Value("tasks.total.work") * 2);
+}
+
+TEST(GoldenTraceTest, FaultSeedReplayIsByteIdentical) {
+  MaintenanceRunConfig config = BaseConfig();
+  config.fault.faults_per_second = 1.0;
+  config.fault.kinds = kFaultLatent | kFaultBitRot;
+  config.fault_seed = 7;
+  MaintenanceRunResult first = RunMaintenance(config);
+  MaintenanceRunResult second = RunMaintenance(config);
+  ASSERT_EQ(first.fault_fingerprint, second.fault_fingerprint);
+  EXPECT_EQ(first.trace_fingerprint, second.trace_fingerprint);
+
+  // A different fault schedule diverges the trace even though the workload
+  // seed is unchanged.
+  config.fault_seed = 8;
+  MaintenanceRunResult third = RunMaintenance(config);
+  EXPECT_NE(third.fault_fingerprint, first.fault_fingerprint);
+  EXPECT_NE(third.trace_fingerprint, first.trace_fingerprint);
+}
+
+TEST(GoldenTraceTest, RsyncAndGcRunnersAreDeterministic) {
+  StackConfig stack = TinyStack();
+  obs::ObsContext a;
+  RunRsync(stack, Personality::kWebserver, 1.0, false, true, 42, &a);
+  obs::ObsContext b;
+  RunRsync(stack, Personality::kWebserver, 1.0, false, true, 42, &b);
+  EXPECT_EQ(a.trace.Fingerprint(), b.trace.Fingerprint());
+
+  obs::ObsContext c;
+  RunGc(stack, /*target_util=*/0.3, true, 42, /*ops_per_sec=*/40, false, false, &c);
+  obs::ObsContext d;
+  RunGc(stack, /*target_util=*/0.3, true, 42, /*ops_per_sec=*/40, false, false, &d);
+  EXPECT_EQ(c.trace.Fingerprint(), d.trace.Fingerprint());
+  EXPECT_NE(c.trace.Fingerprint(), obs::Tracer::kFnvOffset);  // events flowed
+}
+
+}  // namespace
+}  // namespace duet

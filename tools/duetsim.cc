@@ -25,6 +25,12 @@
 //   --rsync                  run the rsync experiment instead
 //   --gc                     run the logfs GC experiment instead
 //
+// Observability:
+//   --trace=FILE             write the structured event trace as JSONL
+//   --metrics=FILE           write the end-of-run metrics registry dump
+//   --trace-fingerprint      print the run's FNV-1a trace fingerprint;
+//                            identical configs+seeds print identical values
+//
 // Fault injection (off unless --fault-rate > 0):
 //   --fault-rate=<f>         mean faults/second (Poisson)    [0]
 //   --fault-seed=<n>         fault schedule seed             [1]
@@ -33,10 +39,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "src/harness/calibrate.h"
 #include "src/harness/runner.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
 
 using namespace duet;
 
@@ -59,7 +68,8 @@ void Usage() {
           "               [--frag=0.1] [--informed-eviction] [--data-mb=512]\n"
           "               [--window-s=18] [--seed=42] [--rsync] [--gc]\n"
           "               [--fault-rate=0.5] [--fault-seed=1]\n"
-          "               [--fault-kinds=latent,rot,torn,transient]\n");
+          "               [--fault-kinds=latent,rot,torn,transient]\n"
+          "               [--trace=FILE] [--metrics=FILE] [--trace-fingerprint]\n");
   exit(2);
 }
 
@@ -71,6 +81,9 @@ int main(int argc, char** argv) {
   config.tasks = {MaintKind::kScrub};
   bool run_rsync = false;
   bool run_gc = false;
+  std::string trace_path;
+  std::string metrics_path;
+  bool print_fingerprint = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -138,6 +151,12 @@ int main(int argc, char** argv) {
       config.fault.faults_per_second = atof(value.c_str());
     } else if (FlagValue(argv[i], "--fault-seed", &value)) {
       config.fault_seed = strtoull(value.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--trace", &value)) {
+      trace_path = value;
+    } else if (FlagValue(argv[i], "--metrics", &value)) {
+      metrics_path = value;
+    } else if (strcmp(argv[i], "--trace-fingerprint") == 0) {
+      print_fingerprint = true;
     } else if (FlagValue(argv[i], "--fault-kinds", &value)) {
       config.fault.kinds = 0;
       size_t start = 0;
@@ -170,6 +189,40 @@ int main(int argc, char** argv) {
   // Fault schedules span the whole experiment window.
   config.fault.window = config.stack.window;
 
+  // One observability context for the whole invocation; the runners install
+  // it around their stacks.
+  obs::ObsContext obs_ctx;
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_sink = obs::JsonlTraceSink::Open(trace_path);
+    if (trace_sink == nullptr) {
+      fprintf(stderr, "duetsim: cannot open trace file %s\n", trace_path.c_str());
+      return 2;
+    }
+    obs_ctx.trace.AddSink(trace_sink.get());
+  }
+  config.obs = &obs_ctx;
+  // Deferred reporting shared by every experiment mode.
+  auto finish_obs = [&]() {
+    if (!metrics_path.empty()) {
+      FILE* f = fopen(metrics_path.c_str(), "w");
+      if (f == nullptr) {
+        fprintf(stderr, "duetsim: cannot open metrics file %s\n",
+                metrics_path.c_str());
+        return false;
+      }
+      std::string dump = obs_ctx.metrics.DumpText();
+      fwrite(dump.data(), 1, dump.size(), f);
+      fclose(f);
+    }
+    if (print_fingerprint) {
+      printf("trace fingerprint: %016llx (%llu events)\n",
+             static_cast<unsigned long long>(obs_ctx.trace.Fingerprint()),
+             static_cast<unsigned long long>(obs_ctx.trace.events_emitted()));
+    }
+    return true;
+  };
+
   printf("duetsim: %s on %s, %.0f MiB data, %.0f s window, target util %.0f%%, "
          "coverage %.0f%%%s%s\n\n",
          config.use_duet ? "Duet" : "baseline",
@@ -181,16 +234,21 @@ int main(int argc, char** argv) {
 
   if (run_rsync) {
     RsyncRunResult r = RunRsync(config.stack, config.personality, config.coverage,
-                                config.skewed, config.use_duet, config.seed);
+                                config.skewed, config.use_duet, config.seed,
+                                &obs_ctx);
     printf("rsync: %s in %.1f s; %llu pages read from disk, %llu saved by cache\n",
            r.finished ? "finished" : "DID NOT FINISH", ToSeconds(r.runtime),
            static_cast<unsigned long long>(r.stats.io_read_pages),
            static_cast<unsigned long long>(r.stats.saved_read_pages));
+    if (!finish_obs()) {
+      return 2;
+    }
     return r.finished ? 0 : 1;
   }
   if (run_gc) {
     GcRunResult r = RunGc(config.stack, config.target_util, config.use_duet,
-                          config.seed, /*ops_per_sec=*/-1, false, config.skewed);
+                          config.seed, /*ops_per_sec=*/-1, false, config.skewed,
+                          &obs_ctx);
     printf("gc: %llu segments cleaned, avg %.1f ms; reads %llu disk / %llu cache; "
            "util %.0f%%\n",
            static_cast<unsigned long long>(r.segments_cleaned),
@@ -198,6 +256,9 @@ int main(int argc, char** argv) {
            static_cast<unsigned long long>(r.blocks_read),
            static_cast<unsigned long long>(r.blocks_cached),
            r.measured_util * 100);
+    if (!finish_obs()) {
+      return 2;
+    }
     return 0;
   }
 
@@ -239,6 +300,9 @@ int main(int argc, char** argv) {
            f.MeanTimeToDetectSeconds(),
            static_cast<unsigned long long>(result.scrub_repaired),
            static_cast<unsigned long long>(result.scrub_unrecoverable));
+  }
+  if (!finish_obs()) {
+    return 2;
   }
   return result.all_finished ? 0 : 1;
 }
