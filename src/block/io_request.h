@@ -40,6 +40,15 @@ struct IoRequest {
   uint32_t count = 1;      // number of contiguous blocks
   IoDir dir = IoDir::kRead;
   IoClass io_class = IoClass::kBestEffort;
+  // Flush/barrier op (REQ_PREFLUSH): transfers no data; when it completes,
+  // every write that completed before it was submitted has been committed to
+  // the durable image. Built by BlockDevice::Flush, dispatched through the
+  // IoScheduler like any other request. `block`/`count` are 0.
+  bool is_flush = false;
+  // Submission serial stamped by the device; lets a queued flush wait for
+  // exactly the writes submitted before it (a barrier), regardless of the
+  // scheduler's cross-class reordering. Internal to BlockDevice.
+  uint64_t serial = 0;
   // When false, the fault injector is not consulted for this request. Used
   // for reads of redundant copies (cowfs DUP mirror), which live at a
   // different physical location than the primary block number addressing

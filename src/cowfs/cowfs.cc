@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "src/fault/fault_injector.h"
+#include "src/fs/meta_codec.h"
+#include "src/obs/obs.h"
 #include "src/util/crc32c.h"
 
 namespace duet {
@@ -18,7 +20,8 @@ CowFs::CowFs(EventLoop* loop, BlockDevice* device, uint64_t cache_pages,
       // A fresh device holds token 0 everywhere; checksums must agree, or
       // every allocated-but-never-flushed block would read as corrupt.
       disk_csum_(device->capacity_blocks(), TokenChecksum(0)),
-      mirror_data_(device->capacity_blocks(), 0) {}
+      mirror_data_(device->capacity_blocks(), 0),
+      committed_(device->capacity_blocks()) {}
 
 uint32_t CowFs::TokenChecksum(uint64_t token) {
   return Crc32c(&token, sizeof(token));
@@ -39,13 +42,21 @@ void CowFs::InjectCorruption(BlockNo block, bool both_copies) {
   }
 }
 
+std::optional<BlockNo> CowFs::FindFreeUnpinned(BlockNo from) const {
+  std::optional<BlockNo> found = allocated_.FindNextClear(from);
+  while (found.has_value() && committed_.Test(*found)) {
+    found = allocated_.FindNextClear(*found + 1);
+  }
+  return found;
+}
+
 Result<BlockNo> CowFs::AllocBlock(BlockNo hint) {
   if (hint >= capacity_blocks()) {
     hint = 0;
   }
-  std::optional<BlockNo> found = allocated_.FindNextClear(hint);
+  std::optional<BlockNo> found = FindFreeUnpinned(hint);
   if (!found.has_value()) {
-    found = allocated_.FindNextClear(0);
+    found = FindFreeUnpinned(0);
   }
   if (!found.has_value()) {
     return Status(StatusCode::kNoSpace, "cowfs full");
@@ -74,10 +85,12 @@ void CowFs::Decref(BlockNo block) {
 Result<BlockNo> CowFs::AllocateForWrite(InodeNo ino, PageIdx idx, BlockNo old_block) {
   if (old_block != kInvalidBlock) {
     // Same-transaction optimization: if the previous block is exclusively
-    // ours (no snapshot reference) and its page is still dirty (never
-    // flushed), rewrite it in place rather than COWing again.
+    // ours (no snapshot reference), its page is still dirty (never flushed),
+    // and it is not part of the committed superblock tree (crash rollback
+    // would need its old content), rewrite it in place rather than COWing.
     const CachedPage* page = cache_.Peek(ino, idx);
-    if (refcount_[old_block] == 1 && page != nullptr && page->dirty) {
+    if (refcount_[old_block] == 1 && page != nullptr && page->dirty &&
+        !committed_.Test(old_block)) {
       return old_block;
     }
   }
@@ -408,7 +421,7 @@ Result<std::vector<std::pair<BlockNo, uint32_t>>> CowFs::AllocContiguous(uint64_
   BlockNo scan = alloc_cursor_;
   bool wrapped = false;
   while (remaining > 0) {
-    std::optional<BlockNo> next = allocated_.FindNextClear(scan);
+    std::optional<BlockNo> next = FindFreeUnpinned(scan);
     if (!next.has_value()) {
       if (wrapped) {
         break;
@@ -420,7 +433,7 @@ Result<std::vector<std::pair<BlockNo, uint32_t>>> CowFs::AllocContiguous(uint64_
     BlockNo run_start = *next;
     BlockNo run_end = run_start;
     while (run_end < capacity_blocks() && !allocated_.Test(run_end) &&
-           run_end - run_start < remaining) {
+           !committed_.Test(run_end) && run_end - run_start < remaining) {
       ++run_end;
     }
     uint32_t len = static_cast<uint32_t>(run_end - run_start);
@@ -575,6 +588,221 @@ Result<InodeNo> CowFs::PopulateFragmentedFile(std::string_view path, uint64_t by
   ns_.GetMutable(ino)->size = bytes;
   alloc_cursor_ = saved_cursor;
   return ino;
+}
+
+std::vector<uint8_t> CowFs::SerializeSuperblock() const {
+  ByteWriter w;
+  SerializeNamespaceAndMaps(&w);
+  std::vector<const Snapshot*> snaps;
+  snaps.reserve(snapshots_.size());
+  for (const auto& [id, snap] : snapshots_) {
+    snaps.push_back(&snap);
+  }
+  std::sort(snaps.begin(), snaps.end(),
+            [](const Snapshot* a, const Snapshot* b) { return a->id < b->id; });
+  w.U64(snaps.size());
+  for (const Snapshot* snap : snaps) {
+    w.U64(snap->id);
+    w.U64(snap->files.size());
+    for (const auto& [ino, file] : snap->files) {  // std::map: ino-ordered
+      w.U64(ino);
+      w.U64(file.size);
+      w.U64(file.blocks.size());
+      for (BlockNo block : file.blocks) {
+        w.U64(block);
+      }
+    }
+  }
+  w.U64(next_snapshot_id_);
+  return w.Take();
+}
+
+void CowFs::CommitSuperblock(std::function<void(uint64_t)> done) {
+  assert(image_ != nullptr && "attach a durable image before committing");
+  Sync([this, done = std::move(done)]() mutable {
+    // Quiesced commit: with no foreground writes racing the sync, the cache
+    // is clean at the barrier, so the serialized tree references only
+    // durably committed blocks.
+    assert(cache_.DirtyCount() == 0 && "quiesce writes during superblock commit");
+    std::vector<uint8_t> payload = SerializeSuperblock();
+    uint64_t generation = superblock_generation_ + 1;
+    SimDuration latency = MetaIoLatency(payload.size());
+    // The superblock area is written FUA at the end of the modeled latency;
+    // a crash inside the window simply leaves the previous generation (and
+    // the image's PutMeta is a no-op once frozen anyway).
+    loop_->ScheduleAfter(latency, [this, payload = std::move(payload), generation,
+                                   done = std::move(done)]() mutable {
+      CommitCheckpointSlot(image_, "cowfs.sb", generation, payload);
+      superblock_generation_ = generation;
+      committed_ = allocated_;  // pin the committed tree until the next commit
+      obs::CurrentObs()->trace.Emit(loop_->now(), obs::TraceLayer::kFs,
+                                    obs::TraceKind::kCheckpointCommit, generation,
+                                    payload.size(), image_->commit_seq());
+      done(generation);
+    });
+  });
+}
+
+void CowFs::Checkpoint(std::function<void()> done) {
+  CommitSuperblock([done = std::move(done)](uint64_t) { done(); });
+}
+
+Status CowFs::RestoreFromSuperblock(const std::vector<uint8_t>& payload,
+                                    MountReport* report) {
+  ByteReader r(payload);
+  if (!RestoreNamespaceAndMaps(&r, &report->files)) {
+    return Status(StatusCode::kCorruption, "bad superblock namespace");
+  }
+  uint64_t snap_count = r.U64();
+  for (uint64_t k = 0; k < snap_count && r.ok(); ++k) {
+    Snapshot snap;
+    snap.id = r.U64();
+    uint64_t file_count = r.U64();
+    for (uint64_t j = 0; j < file_count && r.ok(); ++j) {
+      InodeNo ino = r.U64();
+      SnapshotFile file;
+      file.size = r.U64();
+      uint64_t nblocks = r.U64();
+      for (uint64_t b = 0; b < nblocks; ++b) {
+        BlockNo block = r.U64();
+        if (block != kInvalidBlock && block >= capacity_blocks()) {
+          return Status(StatusCode::kCorruption, "snapshot block out of range");
+        }
+        file.blocks.push_back(block);
+      }
+      snap.files.emplace(ino, std::move(file));
+    }
+    snapshots_.emplace(snap.id, std::move(snap));
+  }
+  next_snapshot_id_ = r.U64();
+  if (!r.ok()) {
+    return Status(StatusCode::kCorruption, "truncated superblock");
+  }
+
+  // Rebuild refcounts and the allocation bitmap from the restored trees.
+  for (const auto& [ino, map] : fmap_) {
+    for (BlockNo block : map.blocks) {
+      if (block != kInvalidBlock) {
+        ++refcount_[block];
+      }
+    }
+  }
+  for (const auto& [id, snap] : snapshots_) {
+    for (const auto& [ino, file] : snap.files) {
+      for (BlockNo block : file.blocks) {
+        if (block != kInvalidBlock) {
+          ++refcount_[block];
+        }
+      }
+    }
+  }
+  allocated_blocks_ = 0;
+  for (BlockNo b = 0; b < capacity_blocks(); ++b) {
+    if (refcount_[b] == 0) {
+      continue;
+    }
+    allocated_.Set(b);
+    ++allocated_blocks_;
+    if (image_->Present(b)) {
+      const DurableImage::Record& rec = image_->At(b);
+      disk_data_[b] = rec.token;
+      disk_csum_[b] = rec.csum;
+      // The DUP mirror is not persisted separately; it is resilvered from
+      // the primary copy during mount.
+      mirror_data_[b] = rec.token;
+      ++report->blocks_restored;
+    } else {
+      ++report->blocks_missing;
+    }
+  }
+  return Status::Ok();
+}
+
+void CowFs::Mount(std::function<void(const MountReport&)> cb) {
+  assert(image_ != nullptr && "attach a durable image before mounting");
+  assert(ns_.inode_count() == 1 && fmap_.empty() &&
+         "mount requires a freshly constructed file system");
+  SimTime started = loop_->now();
+  auto report = std::make_shared<MountReport>();
+  std::optional<LoadedCheckpoint> loaded = LoadNewestCheckpoint(*image_, "cowfs.sb");
+  if (!loaded.has_value()) {
+    report->status = Status(StatusCode::kNotFound, "no committed superblock");
+    loop_->ScheduleAfter(0, [cb = std::move(cb), report] { cb(*report); });
+    return;
+  }
+  report->generation = loaded->generation;
+  report->meta_bytes = loaded->payload.size();
+  report->status = RestoreFromSuperblock(loaded->payload, report.get());
+  if (!report->status.ok()) {
+    loop_->ScheduleAfter(0, [cb = std::move(cb), report] { cb(*report); });
+    return;
+  }
+  superblock_generation_ = loaded->generation;
+  committed_ = allocated_;
+  // Rollback recovery reads only the superblock area — no data blocks.
+  loop_->ScheduleAfter(MetaIoLatency(loaded->payload.size()),
+                       [this, report, cb = std::move(cb), started] {
+    report->duration = loop_->now() - started;
+    obs::CurrentObs()->trace.Emit(loop_->now(), obs::TraceLayer::kFs,
+                                  obs::TraceKind::kMountRecovered,
+                                  report->generation, report->blocks_restored,
+                                  report->blocks_discarded);
+    cb(*report);
+  });
+}
+
+FsckReport CowFs::CheckConsistency() const {
+  FsckReport report;
+  CheckFileMappings(&report);
+  // Recompute every block's expected reference count from the live extent
+  // maps and the snapshot tables.
+  std::vector<uint32_t> want(capacity_blocks(), 0);
+  for (const auto& [ino, map] : fmap_) {
+    const Inode* inode = ns_.Get(ino);
+    if (inode == nullptr || inode->is_dir()) {
+      ++report.structural_errors;  // extent map for a nonexistent file
+      continue;
+    }
+    for (BlockNo block : map.blocks) {
+      if (block != kInvalidBlock) {
+        ++want[block];
+      }
+    }
+  }
+  for (const auto& [id, snap] : snapshots_) {
+    for (const auto& [ino, file] : snap.files) {
+      for (BlockNo block : file.blocks) {
+        if (block != kInvalidBlock) {
+          ++want[block];
+        }
+      }
+    }
+  }
+  uint64_t allocated_count = 0;
+  for (BlockNo b = 0; b < capacity_blocks(); ++b) {
+    bool alloc = allocated_.Test(b);
+    if (want[b] != refcount_[b] || alloc != (want[b] > 0)) {
+      ++report.structural_errors;
+      report.NoteBad(b);
+    }
+    if (!alloc) {
+      continue;
+    }
+    ++allocated_count;
+    ++report.blocks_checked;
+    if (!BlockChecksumOk(b)) {
+      ++report.checksum_errors;
+      report.NoteBad(b);
+    }
+  }
+  if (allocated_count != allocated_blocks_) {
+    ++report.structural_errors;
+  }
+  obs::CurrentObs()->trace.Emit(loop_->now(), obs::TraceLayer::kFs,
+                                obs::TraceKind::kFsckRan,
+                                report.structural_errors, report.checksum_errors,
+                                report.blocks_checked);
+  return report;
 }
 
 }  // namespace duet

@@ -138,6 +138,26 @@ class CowFs : public FileSystem {
   uint64_t free_blocks() const { return capacity_blocks() - allocated_.Count(); }
   uint32_t BlockRefcount(BlockNo block) const { return refcount_[block]; }
 
+  // ---- Crash consistency (superblock generations) ----
+  // Atomically commits the current tree: Sync(), then serialize the
+  // namespace, extent maps, and snapshot tables into the next superblock
+  // generation (two-slot, CRC-protected). Every block the committed tree
+  // references is pinned — not reusable by the allocator — until the NEXT
+  // commit, so a crash always rolls back to an intact tree. Requires
+  // quiesced foreground writes during the commit (a real COW file system's
+  // transaction-commit stall) and an attached durable image.
+  void CommitSuperblock(std::function<void(uint64_t generation)> done);
+  void Checkpoint(std::function<void()> done) override;
+  // Rolls back to the newest committed superblock generation: restores the
+  // namespace, maps, snapshots, refcounts, and block content from the
+  // durable image. Anything written after that commit is gone (cowfs has no
+  // log tree). Must be called on a freshly constructed file system.
+  void Mount(std::function<void(const MountReport&)> cb) override;
+  FsckReport CheckConsistency() const override;
+  uint64_t superblock_generation() const { return superblock_generation_; }
+  // True if the last committed superblock references `block` (pinned).
+  bool CommittedBlock(BlockNo block) const { return committed_.Test(block); }
+
  protected:
   Result<BlockNo> AllocateForWrite(InodeNo ino, PageIdx idx, BlockNo old_block) override;
   void FreeFileBlocks(InodeNo ino) override;
@@ -145,14 +165,22 @@ class CowFs : public FileSystem {
   void OnBlockFlushed(BlockNo block, uint64_t token) override;
   void InjectCorruption(BlockNo block, bool both_copies) override;
   bool BlockInUse(BlockNo block) const override { return allocated_.Test(block); }
+  uint32_t StoredChecksum(BlockNo block) const override { return disk_csum_[block]; }
 
  private:
   struct RepairJob;
   void RepairNext(std::shared_ptr<RepairJob> job);
   void WriteRepair(std::shared_ptr<RepairJob> job, BlockNo block, uint64_t token);
 
-  // Allocates one free block, next-fit from `hint`.
+  // Allocates one free block, next-fit from `hint`. Blocks referenced by the
+  // last committed superblock are skipped even when free (pinned until the
+  // next commit), so rollback never finds its tree overwritten.
   Result<BlockNo> AllocBlock(BlockNo hint);
+  // First free, unpinned block at or after `from`.
+  std::optional<BlockNo> FindFreeUnpinned(BlockNo from) const;
+  std::vector<uint8_t> SerializeSuperblock() const;
+  Status RestoreFromSuperblock(const std::vector<uint8_t>& payload,
+                               MountReport* report);
   // Allocates `n` contiguous free blocks; falls back to the longest runs
   // available. Returns the start blocks of the runs covering n blocks total.
   Result<std::vector<std::pair<BlockNo, uint32_t>>> AllocContiguous(uint64_t n);
@@ -171,6 +199,12 @@ class CowFs : public FileSystem {
   SnapshotId next_snapshot_id_ = 1;
   std::unordered_map<SnapshotId, Snapshot> snapshots_;
   uint64_t checksum_errors_detected_ = 0;
+  // Blocks referenced by the last committed superblock. Pinned against both
+  // in-place rewrite and reallocation until the next commit (btrfs's pinned
+  // extents). Empty when no superblock was ever committed, making the whole
+  // crash path zero-cost for stacks that never use it.
+  Bitmap committed_;
+  uint64_t superblock_generation_ = 0;
 };
 
 }  // namespace duet

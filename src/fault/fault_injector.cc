@@ -16,7 +16,8 @@ FaultInjector::FaultInjector(EventLoop* loop, FaultPlan plan)
       ctr_masked_(obs_->metrics.GetCounter("fault.masked")),
       ctr_unrecoverable_(obs_->metrics.GetCounter("fault.unrecoverable")),
       ctr_read_errors_(obs_->metrics.GetCounter("fault.read_errors")),
-      ctr_transient_failures_(obs_->metrics.GetCounter("fault.transient_failures")) {
+      ctr_transient_failures_(obs_->metrics.GetCounter("fault.transient_failures")),
+      ctr_crashes_(obs_->metrics.GetCounter("fault.crashes")) {
   assert(loop_ != nullptr);
 }
 
@@ -26,6 +27,34 @@ void FaultInjector::SetCorruptionSink(std::function<void(BlockNo, bool)> sink) {
 
 void FaultInjector::SetTargetFilter(std::function<bool(BlockNo)> filter) {
   filter_ = std::move(filter);
+}
+
+void FaultInjector::SetCrashHandler(std::function<void()> handler) {
+  crash_handler_ = std::move(handler);
+}
+
+void FaultInjector::ScheduleCrashAtTime(SimTime at) {
+  loop_->ScheduleAt(at, [this] { TriggerCrash(/*source_tag=*/1); });
+}
+
+void FaultInjector::OnDeviceOp(uint64_t ops_dispatched, SimTime /*now*/) {
+  if (crash_at_op_ != 0 && ops_dispatched >= crash_at_op_ && !crashed_) {
+    TriggerCrash(/*source_tag=*/2);
+  }
+}
+
+void FaultInjector::TriggerCrash(uint64_t source_tag) {
+  if (crashed_) {
+    return;  // a machine loses power once
+  }
+  crashed_ = true;
+  ++stats_.crashes;
+  ctr_crashes_->Add();
+  obs_->trace.Emit(loop_->now(), obs::TraceLayer::kFault,
+                   obs::TraceKind::kCrashTriggered, source_tag, kFaultCrash);
+  if (crash_handler_) {
+    crash_handler_();
+  }
 }
 
 void FaultInjector::Start() {
@@ -67,6 +96,9 @@ void FaultInjector::Activate(const FaultEvent& event) {
           event.block, event.span, loop_->now() + plan_.config().transient_duration,
           plan_.config().transient_latency});
       ++stats_.transient_windows;
+      break;
+    case kFaultCrash:
+      TriggerCrash(/*source_tag=*/0);
       break;
     default:
       break;

@@ -43,6 +43,7 @@ struct FaultStats {
   uint64_t unrecoverable = 0;  // detected, no good copy to repair from
   uint64_t read_errors = 0;        // block reads failed with kIoError
   uint64_t transient_failures = 0; // requests failed with kBusy
+  uint64_t crashes = 0;            // power-loss events triggered
   SimDuration total_detect_latency = 0;
 
   uint64_t Undetected() const {
@@ -73,6 +74,18 @@ class FaultInjector {
   // filter are registered and the initial file set is populated.
   void Start();
 
+  // ---- Crash points ----
+  // The handler runs exactly once, at the crash instant; it is expected to
+  // freeze the durable image (BlockDevice::CrashFreeze) and halt the event
+  // loop so the harness can tear the stack down. A kCrash plan event with no
+  // handler registered only counts in stats (benign in crash-unaware rigs).
+  void SetCrashHandler(std::function<void()> handler);
+  // Explicit crash points, usable with or without a plan: at an absolute
+  // sim-time, or when the device dispatches its Nth op (1-based).
+  void ScheduleCrashAtTime(SimTime at);
+  void ScheduleCrashAtOp(uint64_t nth_op) { crash_at_op_ = nth_op; }
+  bool crashed() const { return crashed_; }
+
   // ---- Device-side consultation ----
   // Extra service latency for a request (transient spikes; reads only).
   SimDuration ExtraLatency(BlockNo block, uint32_t count, bool is_read, SimTime now);
@@ -87,6 +100,8 @@ class FaultInjector {
   // had been detected, masked otherwise), then any armed torn write for the
   // range corrupts the freshly written content through the sink.
   void OnWriteApplied(BlockNo block, uint32_t count, SimTime now);
+  // Called on every op the device dispatches (crash-at-op addressing).
+  void OnDeviceOp(uint64_t ops_dispatched, SimTime now);
 
   // ---- Consumer-side notifications ----
   // A checksum verification caught corrupt content in `block`.
@@ -118,6 +133,7 @@ class FaultInjector {
 
   void Activate(const FaultEvent& event);
   void ResolveFault(BlockNo block, bool via_rewrite);
+  void TriggerCrash(uint64_t source_tag);
 
   EventLoop* loop_;
   FaultPlan plan_;
@@ -129,8 +145,12 @@ class FaultInjector {
   obs::Counter* ctr_unrecoverable_;
   obs::Counter* ctr_read_errors_;
   obs::Counter* ctr_transient_failures_;
+  obs::Counter* ctr_crashes_;
   std::function<void(BlockNo, bool)> sink_;
   std::function<bool(BlockNo)> filter_;
+  std::function<void()> crash_handler_;
+  uint64_t crash_at_op_ = 0;  // 0 = disabled
+  bool crashed_ = false;
   bool started_ = false;
   std::unordered_map<BlockNo, ActiveFault> active_;
   std::unordered_map<BlockNo, SimTime> armed_torn_;  // block -> armed at

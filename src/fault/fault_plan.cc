@@ -17,6 +17,8 @@ const char* FaultKindName(uint32_t kind) {
       return "torn";
     case kFaultTransient:
       return "transient";
+    case kFaultCrash:
+      return "crash";
   }
   return "unknown";
 }
@@ -37,7 +39,8 @@ FaultPlan FaultPlan::Generate(uint64_t seed, const FaultPlanConfig& config,
   }
 
   std::vector<uint32_t> kinds;
-  for (uint32_t k : {kFaultLatent, kFaultBitRot, kFaultTornWrite, kFaultTransient}) {
+  for (uint32_t k : {kFaultLatent, kFaultBitRot, kFaultTornWrite, kFaultTransient,
+                     kFaultCrash}) {
     if (config.kinds & k) {
       kinds.push_back(k);
     }
@@ -46,6 +49,7 @@ FaultPlan FaultPlan::Generate(uint64_t seed, const FaultPlanConfig& config,
   Rng rng(seed);
   double t_seconds = 0;
   const double window_seconds = ToSeconds(config.window);
+  bool crash_scheduled = false;
   while (true) {
     t_seconds += rng.Exponential(1.0 / config.faults_per_second);
     if (t_seconds >= window_seconds) {
@@ -54,6 +58,17 @@ FaultPlan FaultPlan::Generate(uint64_t seed, const FaultPlanConfig& config,
     FaultEvent event;
     event.at = FromSeconds(t_seconds);
     event.kind = kinds[rng.Uniform(kinds.size())];
+    if (event.kind == kFaultCrash) {
+      // A machine loses power at most once per plan; later arrivals re-draw
+      // nothing (events after a crash would never fire anyway).
+      if (crash_scheduled) {
+        continue;
+      }
+      crash_scheduled = true;
+      event.block = 0;
+      plan.events_.push_back(event);
+      continue;
+    }
     bool use_hot = !config.hot_blocks.empty() && rng.Chance(config.hot_fraction);
     event.block = use_hot ? config.hot_blocks[rng.Uniform(config.hot_blocks.size())]
                           : lo + rng.Uniform(hi - lo);

@@ -22,8 +22,9 @@ inline constexpr uint32_t kFaultLatent = 1u << 0;     // unreadable sector
 inline constexpr uint32_t kFaultBitRot = 1u << 1;     // silent data corruption
 inline constexpr uint32_t kFaultTornWrite = 1u << 2;  // next write persists torn
 inline constexpr uint32_t kFaultTransient = 1u << 3;  // read timeout/latency spike
+inline constexpr uint32_t kFaultCrash = 1u << 4;      // power loss: volatile state gone
 inline constexpr uint32_t kFaultAllKinds =
-    kFaultLatent | kFaultBitRot | kFaultTornWrite | kFaultTransient;
+    kFaultLatent | kFaultBitRot | kFaultTornWrite | kFaultTransient | kFaultCrash;
 
 const char* FaultKindName(uint32_t kind);
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/fault/fault_injector.h"
+#include "src/fs/meta_codec.h"
 
 namespace duet {
 
@@ -31,6 +32,11 @@ void FileSystem::OnBlockFlushed(BlockNo block, uint64_t token) {
 
 void FileSystem::InjectCorruption(BlockNo block, bool /*both_copies*/) {
   disk_data_[block] ^= 0xdeadbeefcafef00dULL;
+  // The durable image models the same platter: rot that hits a committed
+  // block must survive a crash and remount too.
+  if (image_ != nullptr && image_->Present(block)) {
+    image_->CorruptToken(block);
+  }
 }
 
 void FileSystem::AttachFaultInjector(FaultInjector* injector) {
@@ -41,6 +47,150 @@ void FileSystem::AttachFaultInjector(FaultInjector* injector) {
         [this](BlockNo block, bool both) { InjectCorruption(block, both); });
     injector->SetTargetFilter([this](BlockNo block) { return BlockInUse(block); });
   }
+}
+
+void FileSystem::AttachDurableImage(DurableImage* image) {
+  image_ = image;
+  device_->SetDurableImage(image);
+  if (image != nullptr) {
+    device_->SetDurableContentProvider([this](BlockNo block) {
+      DurableContent content;
+      content.token = disk_data_[block];
+      content.csum = StoredChecksum(block);
+      content.ino = rmap_[block].ino;
+      content.idx = rmap_[block].idx;
+      content.in_use = BlockInUse(block);
+      return content;
+    });
+  }
+}
+
+void FileSystem::Sync(std::function<void()> done) {
+  writeback_.Sync([this, done = std::move(done)]() mutable {
+    device_->Flush(IoClass::kBestEffort,
+                   [done = std::move(done)](const IoResult&) { done(); });
+  });
+}
+
+void FileSystem::SnapshotToDurable() {
+  if (image_ == nullptr) {
+    return;
+  }
+  for (BlockNo b = 0; b < capacity_blocks(); ++b) {
+    if (BlockInUse(b)) {
+      image_->Commit(b, disk_data_[b], StoredChecksum(b), rmap_[b].ino,
+                     rmap_[b].idx);
+    }
+  }
+}
+
+void FileSystem::Checkpoint(std::function<void()> done) {
+  Sync(std::move(done));
+}
+
+void FileSystem::Mount(std::function<void(const MountReport&)> cb) {
+  MountReport report;
+  report.status = Status(StatusCode::kNotSupported, "no recovery metadata");
+  loop_->ScheduleAfter(0, [cb = std::move(cb), report] { cb(report); });
+}
+
+FsckReport FileSystem::CheckConsistency() const {
+  FsckReport report;
+  CheckFileMappings(&report);
+  return report;
+}
+
+void FileSystem::SerializeNamespaceAndMaps(ByteWriter* w) const {
+  std::vector<const Inode*> inodes;
+  ns_.ForEachInode([&inodes](const Inode& inode) { inodes.push_back(&inode); });
+  std::sort(inodes.begin(), inodes.end(),
+            [](const Inode* a, const Inode* b) { return a->ino < b->ino; });
+  w->U64(ns_.max_ino());
+  w->U64(inodes.size());
+  for (const Inode* inode : inodes) {
+    w->U64(inode->ino);
+    w->U8(inode->is_dir() ? 1 : 0);
+    w->U64(inode->size);
+    w->U64(inode->parent);
+    w->Str(inode->name);
+  }
+  std::vector<std::pair<InodeNo, const FileMap*>> maps;
+  maps.reserve(fmap_.size());
+  for (const auto& [ino, map] : fmap_) {
+    maps.emplace_back(ino, &map);
+  }
+  std::sort(maps.begin(), maps.end());
+  w->U64(maps.size());
+  for (const auto& [ino, map] : maps) {
+    w->U64(ino);
+    w->U64(map->blocks.size());
+    for (BlockNo block : map->blocks) {
+      w->U64(block);
+    }
+  }
+}
+
+bool FileSystem::RestoreNamespaceAndMaps(ByteReader* r, uint64_t* files_out) {
+  InodeNo next_ino = r->U64();
+  uint64_t inode_count = r->U64();
+  uint64_t files = 0;
+  for (uint64_t k = 0; k < inode_count && r->ok(); ++k) {
+    InodeNo ino = r->U64();
+    FileType type = r->U8() != 0 ? FileType::kDirectory : FileType::kRegular;
+    uint64_t size = r->U64();
+    InodeNo parent = r->U64();
+    std::string name = r->Str();
+    if (!r->ok()) {
+      return false;
+    }
+    ns_.RestoreInode(ino, type, size, parent, std::move(name));
+    if (type == FileType::kRegular) {
+      ++files;
+    }
+  }
+  if (!r->ok()) {
+    return false;
+  }
+  ns_.RestoreLinks(next_ino);
+  uint64_t map_count = r->U64();
+  for (uint64_t k = 0; k < map_count && r->ok(); ++k) {
+    InodeNo ino = r->U64();
+    uint64_t nblocks = r->U64();
+    for (PageIdx idx = 0; idx < nblocks; ++idx) {
+      BlockNo block = r->U64();
+      if (!r->ok() || (block != kInvalidBlock && block >= capacity_blocks())) {
+        return false;
+      }
+      SetMapping(ino, idx, block);
+    }
+  }
+  if (!r->ok()) {
+    return false;
+  }
+  if (files_out != nullptr) {
+    *files_out = files;
+  }
+  return true;
+}
+
+void FileSystem::CheckFileMappings(FsckReport* report) const {
+  ns_.ForEachInode([this, report](const Inode& inode) {
+    if (inode.is_dir()) {
+      return;
+    }
+    for (PageIdx p = 0; p < inode.PageCount(); ++p) {
+      Result<BlockNo> block = Bmap(inode.ino, p);
+      if (!block.ok()) {
+        ++report->structural_errors;  // hole inside a live file
+        continue;
+      }
+      if (!BlockInUse(*block) || rmap_[*block].ino != inode.ino ||
+          rmap_[*block].idx != p) {
+        ++report->structural_errors;
+        report->NoteBad(*block);
+      }
+    }
+  });
 }
 
 void FileSystem::SetMapping(InodeNo ino, PageIdx idx, BlockNo block) {
@@ -186,11 +336,19 @@ void FileSystem::Read(InodeNo ino, ByteOff off, uint64_t len, IoClass io_class,
     req.done = [this, job, run = std::move(run)](const IoResult& io) {
       bool whole_request_failed = !io.status.ok() && io.failed_blocks.empty();
       for (const Miss& m : run) {
+        // A write may have raced this read: if the page gained a cache entry
+        // while the read was in flight, that entry is newer than the disk
+        // content the read carries. The fill must not clobber it (a dirty
+        // entry holds data the disk has never seen), and a read failure must
+        // not evict it.
+        const CachedPage* raced = cache_.Peek(m.ino, m.idx);
         if (whole_request_failed || io.BlockFailed(m.block)) {
-          // No data was transferred for this page. Invalidate any stale
-          // cached copy so the cache cannot mask the failure.
+          // No data was transferred for this page. Invalidate a clean stale
+          // copy so the cache cannot mask the failure.
           ++job->result.pages_failed;
-          cache_.Remove(m.ino, m.idx);
+          if (raced == nullptr || !raced->dirty) {
+            cache_.Remove(m.ino, m.idx);
+          }
           if (job->result.status.ok()) {
             job->result.status = io.status;
           }
@@ -202,14 +360,18 @@ void FileSystem::Read(InodeNo ino, ByteOff off, uint64_t len, IoClass io_class,
           // Corrupt content must not enter the page cache: a later read
           // would be served the bad token with an OK status.
           ++job->result.pages_failed;
-          cache_.Remove(m.ino, m.idx);
+          if (raced == nullptr || !raced->dirty) {
+            cache_.Remove(m.ino, m.idx);
+          }
           if (job->result.status.ok()) {
             job->result.status = verify;
           }
           continue;
         }
         ++job->result.pages_from_disk;
-        cache_.Insert(m.ino, m.idx, token, /*dirty=*/false);
+        if (raced == nullptr) {
+          cache_.Insert(m.ino, m.idx, token, /*dirty=*/false);
+        }
       }
       if (--job->outstanding == 0 && job->submitted_all) {
         // Already async (device completion), deliver directly.

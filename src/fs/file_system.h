@@ -25,6 +25,8 @@
 namespace duet {
 
 class FaultInjector;
+class ByteReader;
+class ByteWriter;
 
 // Outcome of an asynchronous file-system operation. The per-source page
 // counts let maintenance tasks account I/O performed vs I/O saved.
@@ -38,6 +40,34 @@ struct FsIoResult {
 };
 
 using FsIoCallback = std::function<void(const FsIoResult&)>;
+
+// Outcome of a mount-time recovery (FileSystem::Mount).
+struct MountReport {
+  Status status;
+  uint64_t generation = 0;       // checkpoint/superblock generation loaded
+  uint64_t blocks_restored = 0;  // blocks reloaded from the durable image
+  uint64_t blocks_replayed = 0;  // log records rolled forward (logfs)
+  uint64_t blocks_discarded = 0; // torn or orphaned records discarded
+  uint64_t blocks_missing = 0;   // referenced by metadata, absent from image
+  uint64_t files = 0;            // regular files recovered
+  uint64_t meta_bytes = 0;       // checkpoint payload size read
+  SimDuration duration = 0;      // virtual time the mount took
+};
+
+// Outcome of an fsck-style full consistency check (CheckConsistency).
+struct FsckReport {
+  uint64_t blocks_checked = 0;
+  uint64_t structural_errors = 0;  // refcount/bitmap/extent-map disagreements
+  uint64_t checksum_errors = 0;    // stored CRC32C does not match content
+  BlockNo first_bad_block = kInvalidBlock;
+
+  bool clean() const { return structural_errors == 0 && checksum_errors == 0; }
+  void NoteBad(BlockNo block) {
+    if (first_bad_block == kInvalidBlock) {
+      first_bad_block = block;
+    }
+  }
+};
 
 // Outcome of a raw block-level read (no page-cache involvement).
 struct RawReadResult {
@@ -129,6 +159,42 @@ class FileSystem : public WritebackTarget {
   virtual Result<InodeNo> PopulateFileAged(std::string_view path, uint64_t bytes,
                                            double break_prob, Rng& rng);
 
+  // ---- Crash consistency (durability boundary & recovery) ----
+
+  // Wires the durable image (owned by the harness, so it survives stack
+  // teardown) to this stack: the device commits its volatile write set into
+  // it on every completed Flush(), pulling content through a provider backed
+  // by this file system's simulated platter. Call before any I/O.
+  void AttachDurableImage(DurableImage* image);
+  DurableImage* durable_image() const { return image_; }
+
+  // fsync-style barrier: flushes every dirty page, then issues a device
+  // Flush(). When `done` fires, all data written before the call is in the
+  // durable image (it survives a crash).
+  void Sync(std::function<void()> done);
+
+  // Setup-time seeding: commits every in-use block into the durable image
+  // instantly (populate writes bypass the device, so the image never saw
+  // them). Call after population, before the run starts.
+  void SnapshotToDurable();
+
+  // Commits a recovery point: Sync(), then serialize metadata and write it
+  // to the image's checkpoint area (cowfs: superblock generation; logfs:
+  // checkpoint). Requires quiesced foreground writes between the internal
+  // Sync and the metadata write — the transaction-commit stall of a real
+  // COW/log file system. The base implementation only syncs.
+  virtual void Checkpoint(std::function<void()> done);
+
+  // Mount-time recovery: rebuilds all in-memory state from the durable
+  // image. Must be called on a freshly constructed file system (empty
+  // namespace). The base implementation reports kNotSupported.
+  virtual void Mount(std::function<void(const MountReport&)> cb);
+
+  // fsck: verifies refcounts, allocation bitmaps, forward/reverse extent
+  // maps, and per-block CRC32C of every in-use block. Pure in-memory check
+  // (no modeled I/O); run it right after Mount to audit the recovered state.
+  virtual FsckReport CheckConsistency() const;
+
   // ---- Fault injection ----
   // Wires a fault injector to this stack: the device consults it on every
   // request, its corruption sink flips this file system's on-disk content,
@@ -177,6 +243,22 @@ class FileSystem : public WritebackTarget {
   // True if `block` currently holds live data (fault targeting filter).
   virtual bool BlockInUse(BlockNo /*block*/) const { return true; }
 
+  // Stored checksum of `block` (may legitimately disagree with the current
+  // content — that is how torn writes and bit rot are detected). Feeds the
+  // durable-image content provider.
+  virtual uint32_t StoredChecksum(BlockNo /*block*/) const { return 0; }
+
+  // Shared checkpoint payload pieces: the namespace (inode table) and the
+  // forward extent map, in deterministic (inode-sorted) order.
+  void SerializeNamespaceAndMaps(ByteWriter* w) const;
+  // Inverse of the above; installs inodes and page->block mappings (which
+  // also rebuilds the reverse map). Returns false on a malformed payload.
+  bool RestoreNamespaceAndMaps(ByteReader* r, uint64_t* files_out);
+
+  // Shared fsck piece: every page of every live file must be mapped (no
+  // holes), its block in use, and the reverse map must agree.
+  void CheckFileMappings(FsckReport* report) const;
+
   // Forward/reverse map storage shared by both file systems.
   struct FileMap {
     std::vector<BlockNo> blocks;  // page index -> block
@@ -199,6 +281,7 @@ class FileSystem : public WritebackTarget {
   Namespace ns_;
   Writeback writeback_;
   FaultInjector* injector_ = nullptr;
+  DurableImage* image_ = nullptr;
 
  private:
   struct ReadJob;

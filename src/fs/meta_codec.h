@@ -1,0 +1,138 @@
+// Serialization helpers for crash-consistent file-system metadata.
+//
+// Checkpoints and superblocks are stored in the DurableImage's metadata
+// region as two alternating slots ("<prefix>.0" / "<prefix>.1"), each
+// wrapped with a magic, a generation number, and a CRC32C. A commit always
+// overwrites the slot holding the OLDER generation, so a crash in the middle
+// of a commit (modeled as the commit simply not happening — the image
+// freezes before PutMeta) leaves the previous generation intact: checkpoint
+// writes are atomic. Mount loads whichever slot carries the newest valid
+// generation.
+#ifndef SRC_FS_META_CODEC_H_
+#define SRC_FS_META_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/block/durable_image.h"
+#include "src/sim/time.h"
+
+namespace duet {
+
+// Little-endian append-only byte serializer.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// Bounds-checked reader; any over-read latches ok() = false and further
+// reads return zero values, so callers can validate once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  uint8_t U8() { return Fail(1) ? 0 : buf_[pos_++]; }
+  uint32_t U32() {
+    if (Fail(4)) {
+      return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(buf_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  uint64_t U64() {
+    if (Fail(8)) {
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(buf_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::string Str() {
+    uint32_t n = U32();
+    if (Fail(n)) {
+      return std::string();
+    }
+    std::string s(buf_.begin() + static_cast<long>(pos_),
+                  buf_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return s;
+  }
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  bool Fail(size_t need) {
+    if (!ok_ || buf_.size() - pos_ < need) {
+      ok_ = false;
+      return true;
+    }
+    return false;
+  }
+
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+struct LoadedCheckpoint {
+  uint64_t generation = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Writes `payload` under generation `generation` into the older of the two
+// slots. No-op while the image is frozen (crash mid-commit: the previous
+// generation survives untouched).
+void CommitCheckpointSlot(DurableImage* image, const std::string& prefix,
+                          uint64_t generation, const std::vector<uint8_t>& payload);
+
+// Returns the newest slot whose magic and CRC verify, or nullopt if neither
+// slot holds a valid checkpoint.
+std::optional<LoadedCheckpoint> LoadNewestCheckpoint(const DurableImage& image,
+                                                     const std::string& prefix);
+
+// Modeled latency of reading/writing `bytes` of checkpoint metadata. The
+// metadata region is a small reserved area written FUA (write-through), so
+// it is charged as a fixed seek plus a streaming component rather than
+// queued behind data I/O.
+SimDuration MetaIoLatency(size_t bytes);
+
+// ---- Small persisted cursors (maintenance-task resume points) ----
+// A cursor is a few words a task rewrites often (scan position, last file
+// streamed). One slot suffices: PutMeta replaces are atomic, and a stale
+// cursor only costs re-done work, never correctness. The CRC guards against
+// a mismatched key, not tearing.
+void PutCursorMeta(DurableImage* image, const std::string& key,
+                   const std::vector<uint64_t>& words);
+std::optional<std::vector<uint64_t>> GetCursorMeta(const DurableImage& image,
+                                                   const std::string& key);
+
+}  // namespace duet
+
+#endif  // SRC_FS_META_CODEC_H_

@@ -194,6 +194,32 @@ Status Namespace::Rename(InodeNo ino, InodeNo new_parent, std::string_view new_n
   return Status::Ok();
 }
 
+void Namespace::RestoreInode(InodeNo ino, FileType type, uint64_t size,
+                             InodeNo parent, std::string name) {
+  Inode inode;
+  inode.ino = ino;
+  inode.type = type;
+  inode.size = size;
+  inode.parent = parent;
+  inode.name = std::move(name);
+  inodes_[ino] = std::move(inode);
+}
+
+void Namespace::RestoreLinks(InodeNo next_ino) {
+  for (auto& [ino, inode] : inodes_) {
+    inode.children.clear();
+  }
+  for (auto& [ino, inode] : inodes_) {
+    if (ino == kRootIno) {
+      continue;
+    }
+    Inode* parent = GetMutable(inode.parent);
+    assert(parent != nullptr && parent->is_dir());
+    parent->children.emplace(inode.name, ino);
+  }
+  next_ino_ = next_ino;
+}
+
 bool Namespace::WalkImpl(const Inode& dir,
                          const std::function<bool(const Inode&)>& fn) const {
   for (const auto& [name, child_ino] : dir.children) {

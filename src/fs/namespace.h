@@ -55,6 +55,19 @@ class Namespace {
   // name exists or the move would create a cycle.
   Status Rename(InodeNo ino, InodeNo new_parent, std::string_view new_name);
 
+  // ---- Crash recovery (mount-time restore) ----
+
+  // Installs an inode record directly into the table: no parent checks, no
+  // observer events (recovery happens before any Duet session registers).
+  // Restoring the root updates the existing entry. Parents may be restored
+  // after their children — call RestoreLinks() once all inodes are in.
+  void RestoreInode(InodeNo ino, FileType type, uint64_t size, InodeNo parent,
+                    std::string name);
+
+  // Rebuilds every directory's children map from the restored parent/name
+  // fields and sets the next inode number to allocate.
+  void RestoreLinks(InodeNo next_ino);
+
   // ---- Iteration ----
 
   // Depth-first, name-ordered traversal under `dir` (inclusive of files,

@@ -94,19 +94,50 @@ class LogFs : public FileSystem {
   void CleanSegment(SegmentNo seg, IoClass io_class,
                     std::function<void(const CleanResult&)> cb);
 
+  // ---- Crash consistency (checkpoint + roll-forward) ----
+  // Commits a checkpoint: Sync(), then serialize the namespace, extent maps,
+  // log head, and segment table into the next checkpoint generation
+  // (two-slot, CRC-protected), recording the durable image's commit sequence
+  // as the replay threshold. Blocks the checkpoint references — and every
+  // block committed after it — stay pinned against reuse until the NEXT
+  // checkpoint (F2fs's prefree discipline), so roll-forward replay always
+  // finds its records intact. Requires quiesced foreground writes during the
+  // commit and an attached durable image.
+  void WriteCheckpoint(std::function<void(uint64_t generation)> done);
+  void Checkpoint(std::function<void()> done) override;
+  // Loads the newest checkpoint, then rolls the log tail forward: every
+  // image record committed after the checkpoint is replayed in commit-seq
+  // order (checksum-verified; torn or orphaned records are discarded), and
+  // the replayed tail is read back through the device so recovery latency
+  // scales with the amount of work lost. Must be called on a freshly
+  // constructed file system.
+  void Mount(std::function<void(const MountReport&)> cb) override;
+  FsckReport CheckConsistency() const override;
+  uint64_t checkpoint_generation() const { return checkpoint_generation_; }
+  // True if recovery still depends on this block's current content.
+  bool PinnedBlock(BlockNo block) const { return pinned_.Test(block); }
+
  protected:
   Result<BlockNo> AllocateForWrite(InodeNo ino, PageIdx idx, BlockNo old_block) override;
   void FreeFileBlocks(InodeNo ino) override;
   Status OnDiskBlockRead(BlockNo block, uint64_t token) override;
   void OnBlockFlushed(BlockNo block, uint64_t token) override;
   bool BlockInUse(BlockNo block) const override { return valid_.Test(block); }
+  uint32_t StoredChecksum(BlockNo block) const override { return disk_csum_[block]; }
 
  private:
   // Next block at the log head; opens a new segment when the current one
   // fills, falling back to scattered overwrites when no segment is free.
+  // With a durable image attached, blocks recovery depends on (pinned_) are
+  // never handed out, and every block handed out is pinned in turn.
   Result<BlockNo> LogAppend();
   void Invalidate(BlockNo block);
   std::optional<SegmentNo> FindFreeSegment();
+  std::vector<uint8_t> SerializeCheckpoint() const;
+  Status RestoreFromCheckpoint(const std::vector<uint8_t>& payload,
+                               MountReport* report, uint64_t* ckpt_seq);
+  void ReplayImageRecords(uint64_t ckpt_seq, MountReport* report,
+                          std::vector<BlockNo>* replayed);
 
   uint32_t segment_blocks_;
   std::vector<SegmentInfo> sit_;
@@ -115,6 +146,12 @@ class LogFs : public FileSystem {
   SegmentNo open_segment_ = 0;  // current log head segment
   uint64_t scattered_writes_ = 0;
   uint64_t checksum_errors_detected_ = 0;
+  // Union of the last checkpoint's referenced blocks and every block
+  // written since; cleared down to the then-valid set at each checkpoint.
+  // Only maintained when a durable image is attached — empty (and free)
+  // otherwise.
+  Bitmap pinned_;
+  uint64_t checkpoint_generation_ = 0;
 };
 
 // The two victim-selection policies (paper §5.4):

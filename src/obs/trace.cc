@@ -95,6 +95,16 @@ const char* TraceKindName(TraceKind kind) {
       return "op_issued";
     case TraceKind::kOpCompleted:
       return "op_completed";
+    case TraceKind::kDeviceFlush:
+      return "device_flush";
+    case TraceKind::kCrashTriggered:
+      return "crash_triggered";
+    case TraceKind::kCheckpointCommit:
+      return "checkpoint_commit";
+    case TraceKind::kMountRecovered:
+      return "mount_recovered";
+    case TraceKind::kFsckRan:
+      return "fsck_ran";
   }
   return "unknown";
 }

@@ -77,6 +77,12 @@ enum class TraceKind : uint8_t {
   // workload
   kOpIssued = 29,        // a=op kind, b=ino
   kOpCompleted = 30,     // a=op kind, b=latency us
+  // crash consistency (block/fault/fs layers)
+  kDeviceFlush = 31,        // a=blocks committed, b=image commit seq
+  kCrashTriggered = 32,     // a=device ops dispatched, b=crash kind tag
+  kCheckpointCommit = 33,   // a=generation, b=bytes, c=image commit seq
+  kMountRecovered = 34,     // a=generation, b=blocks replayed, c=discarded
+  kFsckRan = 35,            // a=structural errors, b=checksum errors
 };
 
 const char* TraceLayerName(TraceLayer layer);

@@ -47,7 +47,7 @@ bool EventLoop::SkimCancelled() {
 }
 
 bool EventLoop::RunOne() {
-  if (!SkimCancelled()) {
+  if (halted_ || !SkimCancelled()) {
     return false;
   }
   Entry top = heap_.top();
@@ -70,8 +70,11 @@ SimTime EventLoop::Run() {
 }
 
 void EventLoop::RunUntil(SimTime deadline) {
-  while (SkimCancelled() && heap_.top().when <= deadline) {
+  while (!halted_ && SkimCancelled() && heap_.top().when <= deadline) {
     RunOne();
+  }
+  if (halted_) {
+    return;  // crash froze the clock at the halt instant
   }
   if (now_ < deadline) {
     now_ = deadline;

@@ -49,6 +49,14 @@ class EventLoop {
   // empty.
   bool RunOne();
 
+  // Crash support: halts the loop. Run/RunUntil return immediately (without
+  // advancing the clock further) and RunOne refuses to fire events until
+  // ClearHalt(). Used by the crash injector to freeze the stack mid-run so
+  // the harness can tear it down at the exact crash instant.
+  void Halt() { halted_ = true; }
+  void ClearHalt() { halted_ = false; }
+  bool halted() const { return halted_; }
+
   uint64_t pending_count() const { return pending_ids_.size(); }
   uint64_t executed_count() const { return executed_; }
 
@@ -73,6 +81,7 @@ class EventLoop {
   SimTime now_ = 0;
   EventId next_id_ = 1;
   uint64_t executed_ = 0;
+  bool halted_ = false;
   // Captured at construction so a stack built under an ObsScope keeps
   // reporting into that scope's context for its whole lifetime.
   obs::ObsContext* obs_;

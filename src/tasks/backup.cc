@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/duet/duet_library.h"
+#include "src/fs/meta_codec.h"
 
 namespace duet {
 
@@ -14,6 +15,17 @@ Backup::Backup(CowFs* fs, DuetCore* duet, BackupConfig config)
 
 Backup::~Backup() { Stop(); }
 
+void Backup::EnableCursorPersistence(DurableImage* image, std::string key) {
+  cursor_image_ = image;
+  cursor_key_ = std::move(key);
+}
+
+void Backup::SaveCursor(InodeNo done_up_to) {
+  if (cursor_image_ != nullptr) {
+    PutCursorMeta(cursor_image_, cursor_key_, {snapshot_, done_up_to});
+  }
+}
+
 void Backup::Start(std::function<void()> on_finish) {
   assert(!running_);
   on_finish_ = std::move(on_finish);
@@ -21,27 +33,53 @@ void Backup::Start(std::function<void()> on_finish) {
   stats_ = TaskStats{};
   stats_.started_at = fs_->loop().now();
   tobs_.Started(stats_.started_at);
+  resumed_ = false;
+  resumed_pages_ = 0;
+  if (cursor_image_ != nullptr) {
+    std::optional<std::vector<uint64_t>> saved =
+        GetCursorMeta(*cursor_image_, cursor_key_);
+    if (saved.has_value() && saved->size() == 2 &&
+        fs_->GetSnapshot((*saved)[0]) != nullptr) {
+      // The snapshot an interrupted run streamed from survived the crash
+      // (it was part of the committed superblock): pick up where it left
+      // off instead of snapshotting and streaming everything again.
+      snapshot_ = (*saved)[0];
+      resumed_ = true;
+      BeginStreaming((*saved)[1]);
+      return;
+    }
+  }
   fs_->CreateSnapshotAsync([this](Result<SnapshotId> snap) {
     if (!snap.ok() || !running_) {
       running_ = false;
       return;
     }
     snapshot_ = *snap;
-    const CowFs::Snapshot* s = fs_->GetSnapshot(snapshot_);
-    for (const auto& [ino, file] : s->files) {
-      stats_.work_total += file.blocks.size();
-      sent_.emplace(ino, std::vector<bool>(file.blocks.size(), false));
-    }
-    file_it_ = s->files.begin();
-    if (config_.use_duet) {
-      Result<SessionId> sid = duet_->RegisterBlockTask(kDuetPageExists);
-      assert(sid.ok());
-      sid_ = *sid;
-      poll_event_ =
-          fs_->loop().ScheduleAfter(config_.fetch_interval, [this] { PollTick(); });
-    }
-    ProcessNextFile();
+    SaveCursor(0);
+    BeginStreaming(0);
   });
+}
+
+void Backup::BeginStreaming(InodeNo resume_after) {
+  const CowFs::Snapshot* s = fs_->GetSnapshot(snapshot_);
+  for (const auto& [ino, file] : s->files) {
+    bool already_sent = ino <= resume_after;
+    sent_.emplace(ino, std::vector<bool>(file.blocks.size(), already_sent));
+    if (already_sent) {
+      resumed_pages_ += file.blocks.size();
+    } else {
+      stats_.work_total += file.blocks.size();
+    }
+  }
+  file_it_ = s->files.upper_bound(resume_after);
+  if (config_.use_duet) {
+    Result<SessionId> sid = duet_->RegisterBlockTask(kDuetPageExists);
+    assert(sid.ok());
+    sid_ = *sid;
+    poll_event_ =
+        fs_->loop().ScheduleAfter(config_.fetch_interval, [this] { PollTick(); });
+  }
+  ProcessNextFile();
 }
 
 void Backup::PollTick() {
@@ -121,6 +159,10 @@ void Backup::FinishRun() {
   stats_.finished_at = fs_->loop().now();
   tobs_.Finished(stats_.finished_at, stats_.work_done);
   running_ = false;
+  if (cursor_image_ != nullptr) {
+    // Run complete: the next backup snapshots afresh.
+    PutCursorMeta(cursor_image_, cursor_key_, {0, 0});
+  }
   if (poll_event_ != kInvalidEvent) {
     fs_->loop().Cancel(poll_event_);
     poll_event_ = kInvalidEvent;
@@ -168,6 +210,9 @@ void Backup::ProcessFileChunk(InodeNo ino, PageIdx next_page) {
     ++p;
   }
   if (p >= file.blocks.size()) {
+    // The in-order stream is past every file up to and including this one;
+    // an interrupted run can resume from here.
+    SaveCursor(ino);
     ++file_it_;
     // Hop through the event loop: long runs of fully-sent files must not
     // recurse on the stack.

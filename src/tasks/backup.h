@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <map>
+#include <string>
 
 #include "src/cowfs/cowfs.h"
 #include "src/duet/duet_core.h"
@@ -39,6 +40,19 @@ class Backup {
   void Start(std::function<void()> on_finish = nullptr);
   void Stop();
 
+  // ---- Crash resume ----
+  // Persists {snapshot id, last fully-streamed inode} after every completed
+  // file. A Start() after a crash and remount reuses the persisted snapshot
+  // (snapshots are part of the committed superblock) and skips files already
+  // streamed; the file in flight at the crash is re-streamed from its first
+  // page. Falls back to a fresh snapshot when the persisted one did not
+  // survive (no superblock commit covered it).
+  void EnableCursorPersistence(DurableImage* image,
+                               std::string key = "cursor.backup");
+  bool resumed() const { return resumed_; }
+  // Pages skipped on resume because a previous run already streamed them.
+  uint64_t resumed_pages() const { return resumed_pages_; }
+
   const TaskStats& stats() const { return stats_; }
   // Bytes "sent" to backup storage (both in-order and opportunistic).
   uint64_t bytes_sent() const { return pages_sent_ * kPageSize; }
@@ -48,6 +62,10 @@ class Backup {
   bool AllPagesSentOnce() const;
 
  private:
+  // Builds the sent-page maps (pre-marking files streamed before a crash)
+  // and starts the in-order stream after `resume_after`.
+  void BeginStreaming(InodeNo resume_after);
+  void SaveCursor(InodeNo done_up_to);
   void ProcessNextFile();
   void ProcessFileChunk(InodeNo ino, PageIdx next_page);
   void DrainDuetEvents();
@@ -61,6 +79,10 @@ class Backup {
   BackupConfig config_;
   SessionId sid_ = kInvalidSession;
   SnapshotId snapshot_ = 0;
+  DurableImage* cursor_image_ = nullptr;
+  std::string cursor_key_;
+  bool resumed_ = false;
+  uint64_t resumed_pages_ = 0;
   bool running_ = false;
   EventId poll_event_ = kInvalidEvent;
   uint64_t pages_sent_ = 0;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/duet/duet_library.h"
+#include "src/fs/meta_codec.h"
 
 namespace duet {
 
@@ -15,6 +16,17 @@ Scrubber::Scrubber(CowFs* fs, DuetCore* duet, ScrubberConfig config)
 
 Scrubber::~Scrubber() { Stop(); }
 
+void Scrubber::EnableCursorPersistence(DurableImage* image, std::string key) {
+  cursor_image_ = image;
+  cursor_key_ = std::move(key);
+}
+
+void Scrubber::SaveCursor() {
+  if (cursor_image_ != nullptr) {
+    PutCursorMeta(cursor_image_, cursor_key_, {cursor_});
+  }
+}
+
 void Scrubber::Start(std::function<void()> on_finish) {
   assert(!running_);
   on_finish_ = std::move(on_finish);
@@ -25,6 +37,18 @@ void Scrubber::Start(std::function<void()> on_finish) {
   stats_.work_total = fs_->allocated_blocks();
   tobs_.Started(stats_.started_at);
   cursor_ = 0;
+  resume_start_ = 0;
+  if (cursor_image_ != nullptr) {
+    // Resume an interrupted pass where it left off (btrfs scrub's progress
+    // checkpoint). A pass that finished cleanly cleared the cursor.
+    std::optional<std::vector<uint64_t>> saved =
+        GetCursorMeta(*cursor_image_, cursor_key_);
+    if (saved.has_value() && saved->size() == 1 &&
+        (*saved)[0] < fs_->capacity_blocks()) {
+      cursor_ = (*saved)[0];
+      resume_start_ = cursor_;
+    }
+  }
   accounting_final_ = false;
   if (config_.use_duet) {
     Result<SessionId> sid =
@@ -71,6 +95,10 @@ void Scrubber::Finish() {
   stats_.finished = true;
   stats_.finished_at = fs_->loop().now();
   running_ = false;
+  if (cursor_image_ != nullptr) {
+    // Pass complete: the next pass scans from the start again.
+    PutCursorMeta(cursor_image_, cursor_key_, {0});
+  }
   if (poll_event_ != kInvalidEvent) {
     fs_->loop().Cancel(poll_event_);
     poll_event_ = kInvalidEvent;
@@ -193,6 +221,7 @@ void Scrubber::ProcessNextChunk() {
                          // Retry budget exhausted: skip the chunk this pass.
                          chunk_retry_ = 0;
                          cursor_ = start + count;
+                         SaveCursor();
                          ProcessNextChunk();
                          return;
                        }
@@ -201,6 +230,7 @@ void Scrubber::ProcessNextChunk() {
                        read_errors_ += result.read_errors;
                        stats_.work_done += result.blocks_read;
                        cursor_ = start + count;
+                       SaveCursor();
                        tobs_.ChunkFinished(fs_->loop().now(), start, count);
                        auto resume = [this, start, count, epoch] {
                          if (!running_ || epoch != epoch_) {

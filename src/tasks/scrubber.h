@@ -12,6 +12,7 @@
 #define SRC_TASKS_SCRUBBER_H_
 
 #include <functional>
+#include <string>
 
 #include "src/cowfs/cowfs.h"
 #include "src/duet/duet_core.h"
@@ -57,6 +58,16 @@ class Scrubber {
   // Stops early (e.g. end of the experiment window).
   void Stop();
 
+  // ---- Crash resume ----
+  // Persists the scan cursor into a named region of the durable image after
+  // every completed chunk; a Start() after a crash and remount resumes the
+  // pass there instead of re-reading prior coverage from block 0. Finishing
+  // a pass clears the cursor so the next pass scans from the start again.
+  void EnableCursorPersistence(DurableImage* image,
+                               std::string key = "cursor.scrub");
+  // Cursor the current pass started from (nonzero only when resumed).
+  BlockNo resume_start() const { return resume_start_; }
+
   const TaskStats& stats() const { return stats_; }
   uint64_t checksum_errors() const { return checksum_errors_; }
   uint64_t read_errors() const { return read_errors_; }
@@ -72,11 +83,16 @@ class Scrubber {
   // Derives saved/completed work from the done bitmap (Duet mode).
   void FinalizeAccounting();
 
+  void SaveCursor();
+
   CowFs* fs_;
   DuetCore* duet_;
   ScrubberConfig config_;
   SessionId sid_ = kInvalidSession;
   BlockNo cursor_ = 0;
+  DurableImage* cursor_image_ = nullptr;
+  std::string cursor_key_;
+  BlockNo resume_start_ = 0;
   bool running_ = false;
   // Pass generation. A pass can finish (via the done bitmap) while a chunk
   // read is still queued at idle priority; if the next pass has started by

@@ -1,0 +1,272 @@
+// Crash-torture sweep: run the crash rig at many deterministic crash points
+// (sim-time and device-op based) on both file systems and require, for every
+// single point, a clean mount, a clean fsck, and zero loss of
+// acknowledged-durable data. Targeted tests below the sweeps pin down the
+// individual contracts: cowfs rollback, logfs roll-forward, torn-flush
+// discard, checkpoint atomicity, maintenance-cursor resume, and bit-for-bit
+// determinism of a replayed crash point.
+//
+// The sweeps default to a bounded point count so they fit in the tier-1 run;
+// CI's sanitizer job sets CRASH_TORTURE_POINTS for the full sweep.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "src/harness/crash_rig.h"
+#include "src/obs/obs.h"
+
+namespace duet {
+namespace {
+
+// Crash points per (file system, trigger kind) sweep. Four sweeps run, so the
+// default gives each file system 200 points (100 time- + 100 op-addressed);
+// CRASH_TORTURE_POINTS scales each sweep.
+uint64_t SweepPoints() {
+  const char* env = std::getenv("CRASH_TORTURE_POINTS");
+  if (env != nullptr) {
+    return static_cast<uint64_t>(std::max(1L, std::atol(env)));
+  }
+  return 100;
+}
+
+std::string PointLabel(const CrashRunConfig& config) {
+  std::string label =
+      config.fs == CrashFsKind::kCow ? "cowfs" : "logfs";
+  if (config.crash_at_time != 0) {
+    label += " crash_at_time=" + std::to_string(config.crash_at_time);
+  }
+  if (config.crash_at_op != 0) {
+    label += " crash_at_op=" + std::to_string(config.crash_at_op);
+  }
+  label += " seed=" + std::to_string(config.seed);
+  return label;
+}
+
+void ExpectPointOk(const CrashRunConfig& config, const CrashRunResult& r) {
+  EXPECT_TRUE(r.mount.status.ok())
+      << PointLabel(config) << ": mount failed: " << r.mount.status.message();
+  EXPECT_EQ(r.fsck.structural_errors, 0u)
+      << PointLabel(config) << ": first bad block " << r.fsck.first_bad_block;
+  EXPECT_EQ(r.fsck.checksum_errors, 0u)
+      << PointLabel(config) << ": first bad block " << r.fsck.first_bad_block;
+  EXPECT_EQ(r.lost_pages, 0u)
+      << PointLabel(config) << ": acknowledged-durable data lost ("
+      << r.verified_pages << "/" << r.acked_pages << " verified, "
+      << r.syncs_completed << " syncs, " << r.checkpoints_completed
+      << " checkpoints before the crash)";
+}
+
+// Sweeps `n` sim-time crash points evenly across the workload window (plus a
+// pre-workload point and a post-workload plug-pull).
+void TimeSweep(CrashFsKind fs, uint64_t n) {
+  uint64_t crashed = 0;
+  uint64_t rolled_back = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    CrashRunConfig config;
+    config.fs = fs;
+    config.seed = 1 + i;  // vary the workload along with the crash point
+    const SimTime window = config.writes * config.write_gap;
+    config.crash_at_time = 1 + (i * window) / (n - 1 > 0 ? n - 1 : 1);
+    CrashRunResult r = RunCrashRecovery(config);
+    ExpectPointOk(config, r);
+    crashed += r.crashed ? 1 : 0;
+    rolled_back += r.rolled_back_pages;
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "stopping sweep at failing point: " << PointLabel(config);
+    }
+  }
+  // The sweep must actually exercise mid-run crashes and observable rollback
+  // of unacknowledged writes, or it is testing nothing.
+  EXPECT_GT(crashed, n / 2);
+  EXPECT_GT(rolled_back, 0u);
+}
+
+// Sweeps `n` device-op crash points: small strides catch mid-flush and
+// mid-commit teardowns that time-based points step over.
+void OpSweep(CrashFsKind fs, uint64_t n) {
+  // Probe the op budget first: an uncrashed run reports how many device ops
+  // the workload dispatches, so the points can spread across the whole run.
+  // Assuming a fixed op density would mis-scale logfs, which coalesces its
+  // log tail into far fewer (larger) writes than cowfs issues.
+  CrashRunConfig probe;
+  probe.fs = fs;
+  probe.seed = 101;
+  const uint64_t total_ops = RunCrashRecovery(probe).ops_before_crash;
+  ASSERT_GT(total_ops, 1u);
+  uint64_t crashed = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    CrashRunConfig config;
+    config.fs = fs;
+    config.seed = 101 + i;
+    config.crash_at_op = 1 + (i * (total_ops - 2)) / (n - 1 > 0 ? n - 1 : 1);
+    CrashRunResult r = RunCrashRecovery(config);
+    ExpectPointOk(config, r);
+    crashed += r.crashed ? 1 : 0;
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "stopping sweep at failing point: " << PointLabel(config);
+    }
+  }
+  EXPECT_GT(crashed, n / 2);
+}
+
+TEST(CrashTortureTest, CowTimeSweep) { TimeSweep(CrashFsKind::kCow, SweepPoints()); }
+
+TEST(CrashTortureTest, LogTimeSweep) { TimeSweep(CrashFsKind::kLog, SweepPoints()); }
+
+TEST(CrashTortureTest, CowOpSweep) { OpSweep(CrashFsKind::kCow, SweepPoints()); }
+
+TEST(CrashTortureTest, LogOpSweep) { OpSweep(CrashFsKind::kLog, SweepPoints()); }
+
+// No crash trigger at all: the plug is pulled after the workload window, by
+// which point the final checkpoint has committed everything.
+TEST(CrashTortureTest, PlugPullAfterQuietWindowLosesNothing) {
+  for (CrashFsKind fs : {CrashFsKind::kCow, CrashFsKind::kLog}) {
+    CrashRunConfig config;
+    config.fs = fs;
+    CrashRunResult r = RunCrashRecovery(config);
+    EXPECT_FALSE(r.crashed);
+    ExpectPointOk(config, r);
+    EXPECT_EQ(r.verified_pages, r.acked_pages);
+  }
+}
+
+// cowfs semantics: a crash rolls back to the last committed superblock. With
+// sync barriers but no mid-run superblock commit, every post-setup rewrite
+// must roll back — and none of them counts as lost, because bare fsync does
+// not promise crash durability on a tree that only commits via superblocks.
+TEST(CrashTortureTest, CowRollsBackToLastCommittedSuperblock) {
+  CrashRunConfig config;
+  config.fs = CrashFsKind::kCow;
+  config.checkpoint_every = Seconds(10);  // never fires mid-run
+  config.crash_at_time = Millis(400);
+  CrashRunResult r = RunCrashRecovery(config);
+  ASSERT_TRUE(r.crashed);
+  ExpectPointOk(config, r);
+  EXPECT_EQ(r.checkpoints_completed, 0u);
+  EXPECT_GT(r.syncs_completed, 0u);
+  EXPECT_GT(r.rolled_back_pages, 0u);
+  EXPECT_EQ(r.mount.generation, 1u);  // the setup commit
+  EXPECT_EQ(r.mount.blocks_replayed, 0u);  // rollback never rolls forward
+}
+
+// logfs semantics: a sync barrier makes the synced records crash-durable via
+// roll-forward replay, even with no checkpoint after setup. The mount must
+// replay a nonempty log tail from the generation-1 checkpoint.
+TEST(CrashTortureTest, LogRollsForwardSyncedTail) {
+  CrashRunConfig config;
+  config.fs = CrashFsKind::kLog;
+  config.checkpoint_every = Seconds(10);  // never fires mid-run
+  config.crash_at_time = Millis(400);
+  CrashRunResult r = RunCrashRecovery(config);
+  ASSERT_TRUE(r.crashed);
+  ExpectPointOk(config, r);
+  EXPECT_EQ(r.checkpoints_completed, 0u);
+  EXPECT_GT(r.syncs_completed, 0u);
+  EXPECT_EQ(r.mount.generation, 1u);
+  EXPECT_GT(r.mount.blocks_replayed, 0u);
+  // Replay restored synced versions the superblock-less cowfs would have
+  // rolled back: some pages must be verified beyond version zero.
+  EXPECT_GT(r.acked_pages, 0u);
+}
+
+// A checkpoint mid-run advances the recovered generation past the setup
+// commit and shrinks the replayed tail to the post-checkpoint writes.
+TEST(CrashTortureTest, CheckpointAdvancesRecoveryPoint) {
+  CrashRunConfig config;
+  config.fs = CrashFsKind::kLog;
+  config.crash_at_time = Millis(450);  // after ~2 checkpoint ticks
+  CrashRunResult r = RunCrashRecovery(config);
+  ASSERT_TRUE(r.crashed);
+  ExpectPointOk(config, r);
+  ASSERT_GT(r.checkpoints_completed, 0u);
+  EXPECT_GE(r.mount.generation, 2u);
+}
+
+// Determinism: the same config must reproduce the same crash and the same
+// recovery, field for field. This is what makes a failing sweep point
+// replayable in isolation.
+TEST(CrashTortureTest, SameConfigReplaysIdentically) {
+  for (CrashFsKind fs : {CrashFsKind::kCow, CrashFsKind::kLog}) {
+    CrashRunConfig config;
+    config.fs = fs;
+    config.seed = 77;
+    config.crash_at_time = Millis(333);
+    CrashRunResult a = RunCrashRecovery(config);
+    CrashRunResult b = RunCrashRecovery(config);
+    EXPECT_EQ(a.crashed, b.crashed);
+    EXPECT_EQ(a.ops_before_crash, b.ops_before_crash);
+    EXPECT_EQ(a.writes_issued, b.writes_issued);
+    EXPECT_EQ(a.syncs_completed, b.syncs_completed);
+    EXPECT_EQ(a.checkpoints_completed, b.checkpoints_completed);
+    EXPECT_EQ(a.mount.generation, b.mount.generation);
+    EXPECT_EQ(a.mount.blocks_restored, b.mount.blocks_restored);
+    EXPECT_EQ(a.mount.blocks_replayed, b.mount.blocks_replayed);
+    EXPECT_EQ(a.mount.blocks_discarded, b.mount.blocks_discarded);
+    EXPECT_EQ(a.mount.duration, b.mount.duration);
+    EXPECT_EQ(a.fsck.blocks_checked, b.fsck.blocks_checked);
+    EXPECT_EQ(a.verified_pages, b.verified_pages);
+    EXPECT_EQ(a.rolled_back_pages, b.rolled_back_pages);
+  }
+}
+
+// Crash-at-op points land inside multi-op sequences (flush barriers,
+// checkpoint commits); a handful of consecutive ops must all recover.
+TEST(CrashTortureTest, ConsecutiveOpPointsAroundABarrier) {
+  for (uint64_t op = 20; op < 40; ++op) {
+    CrashRunConfig config;
+    config.fs = CrashFsKind::kLog;
+    config.seed = 9;
+    config.crash_at_op = op;
+    CrashRunResult r = RunCrashRecovery(config);
+    ExpectPointOk(config, r);
+  }
+}
+
+// Maintenance resume: sweep crash points with the scrubber and backup running
+// over a larger file set. Across the sweep, at least one point must catch the
+// scrubber mid-pass (nonzero persisted cursor restored on restart) and at
+// least one must catch the backup mid-stream after a superblock commit
+// preserved its snapshot (resume with pages skipped). Every point must still
+// satisfy the durability oracle, with the maintenance I/O in the mix.
+TEST(CrashTortureTest, MaintenanceTasksResumeFromPersistedCursors) {
+  bool scrub_resumed = false;
+  bool backup_resumed = false;
+  uint64_t backup_resumed_pages = 0;
+  // Early points land inside the scrubber's single pass (it finishes within
+  // ~tens of ms); the 70-100 ms band lands after the first superblock commit
+  // but before the backup finishes streaming; the tail covers late crashes.
+  const SimTime kPoints[] = {Millis(14),  Millis(22),  Millis(30),  Millis(38),
+                             Millis(70),  Millis(78),  Millis(86),  Millis(94),
+                             Millis(130), Millis(200), Millis(280), Millis(360)};
+  for (uint64_t i = 0; i < 12; ++i) {
+    CrashRunConfig config;
+    config.fs = CrashFsKind::kCow;
+    config.run_tasks = true;
+    config.seed = 301 + i;
+    config.files = 24;
+    config.file_pages = 32;
+    config.capacity_blocks = 8192;
+    config.writes = 192;
+    config.write_gap = Millis(2);
+    config.checkpoint_every = Millis(60);
+    config.crash_at_time = kPoints[i];
+    CrashRunResult r = RunCrashRecovery(config);
+    ExpectPointOk(config, r);
+    scrub_resumed |= r.scrub_resume_cursor > 0;
+    backup_resumed |= r.backup_resumed;
+    backup_resumed_pages = std::max(backup_resumed_pages, r.backup_resumed_pages);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "stopping sweep at failing point: " << PointLabel(config);
+    }
+  }
+  EXPECT_TRUE(scrub_resumed) << "no sweep point caught the scrubber mid-pass";
+  EXPECT_TRUE(backup_resumed) << "no sweep point resumed the backup snapshot";
+  EXPECT_GT(backup_resumed_pages, 0u)
+      << "backup resume never skipped already-streamed pages";
+}
+
+}  // namespace
+}  // namespace duet

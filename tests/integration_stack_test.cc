@@ -331,6 +331,178 @@ TEST(IntegrationStackTest, MetricsConservationLawsAtQuiescence) {
   EXPECT_EQ(snap.Value("tasks.scrub.finished"), 1u);
 }
 
+// Crash a churning cowfs stack mid-flight, rebuild over the surviving durable
+// image, and require that every structural and quiescence invariant the
+// uncrashed churn tests enforce also holds on the recovered instance — and
+// keeps holding through further churn and a fresh superblock commit.
+TEST(IntegrationStackTest, CowFsInvariantsHoldAfterCrashRecovery) {
+  DurableImage image(100'000);
+  {
+    SimRig rig(100'000, Micros(50));
+    CowFs fs(&rig.loop, &rig.device, /*cache_pages=*/128);
+    fs.AttachDurableImage(&image);
+    std::vector<InodeNo> files;
+    for (int i = 0; i < 16; ++i) {
+      files.push_back(*fs.PopulateFile(StrFormat("/f%d", i), 8 * kPageSize));
+    }
+    fs.SnapshotToDurable();
+    bool committed = false;
+    fs.Checkpoint([&] { committed = true; });
+    rig.loop.Run();
+    ASSERT_TRUE(committed);
+
+    // Churn with a sync mid-stream, then pull the plug with writes and a
+    // barrier still in flight.
+    Rng rng(404);
+    for (int op = 0; op < 40; ++op) {
+      InodeNo ino = files[rng.Uniform(files.size())];
+      fs.Write(ino, rng.Uniform(8) * kPageSize, kPageSize, IoClass::kBestEffort,
+               nullptr);
+      rig.loop.RunUntil(rig.loop.now() + Millis(1));
+      if (op == 20) {
+        fs.Sync([] {});
+      }
+    }
+    fs.Sync([] {});
+    rig.loop.RunUntil(rig.loop.now() + Micros(300));  // barrier mid-service
+    rig.device.CrashFreeze();
+  }
+
+  image.Thaw();
+  SimRig rig(100'000, Micros(50));
+  CowFs fs(&rig.loop, &rig.device, /*cache_pages=*/128);
+  fs.AttachDurableImage(&image);
+  MountReport report;
+  bool mounted = false;
+  fs.Mount([&](const MountReport& r) {
+    report = r;
+    mounted = true;
+  });
+  rig.loop.Run();
+  ASSERT_TRUE(mounted);
+  ASSERT_TRUE(report.status.ok()) << report.status.message();
+  FsckReport fsck = fs.CheckConsistency();
+  EXPECT_EQ(fsck.structural_errors, 0u) << "first bad block " << fsck.first_bad_block;
+  EXPECT_EQ(fsck.checksum_errors, 0u);
+  CheckCowFsInvariants(fs, {});
+
+  // The recovered instance must behave like a freshly built one: more churn,
+  // then full quiescence with every invariant intact.
+  Rng rng(505);
+  std::vector<InodeNo> files;
+  fs.ns().ForEachInode([&](const Inode& inode) {
+    if (!inode.is_dir()) {
+      files.push_back(inode.ino);
+    }
+  });
+  ASSERT_EQ(files.size(), 16u);
+  std::vector<SnapshotId> snapshots;
+  for (int op = 0; op < 40; ++op) {
+    InodeNo ino = files[rng.Uniform(files.size())];
+    if (rng.Chance(0.3)) {
+      fs.Read(ino, 0, 8 * kPageSize, IoClass::kBestEffort, nullptr);
+    } else {
+      fs.Write(ino, rng.Uniform(8) * kPageSize, kPageSize, IoClass::kBestEffort,
+               nullptr);
+    }
+    rig.loop.RunUntil(rig.loop.now() + Millis(2));
+  }
+  fs.CreateSnapshotAsync([&](Result<SnapshotId> snap) {
+    ASSERT_TRUE(snap.ok());
+    snapshots.push_back(*snap);
+  });
+  rig.loop.Run();
+  fs.writeback().Sync(nullptr);
+  rig.loop.Run();
+  EXPECT_EQ(fs.cache().DirtyCount(), 0u);
+  CheckChecksumIntegrity(fs);
+  CheckCowFsInvariants(fs, snapshots);
+  EXPECT_EQ(fs.checksum_errors_detected(), 0u);
+
+  // And a fresh superblock commit succeeds on the recovered tree.
+  bool committed = false;
+  fs.Checkpoint([&] { committed = true; });
+  rig.loop.Run();
+  EXPECT_TRUE(committed);
+}
+
+// Same shape for logfs: crash mid-log, remount (checkpoint restore plus
+// roll-forward replay), then verify segment accounting and mapping invariants
+// survive both the recovery and further churn to quiescence.
+TEST(IntegrationStackTest, LogFsInvariantsHoldAfterCrashRecovery) {
+  DurableImage image(32'768);
+  {
+    SimRig rig(32'768, Micros(50));
+    LogFs fs(&rig.loop, &rig.device, /*cache_pages=*/128, /*segment_blocks=*/64);
+    fs.AttachDurableImage(&image);
+    std::vector<InodeNo> files;
+    for (int i = 0; i < 12; ++i) {
+      files.push_back(*fs.PopulateFile(StrFormat("/f%d", i), 8 * kPageSize));
+    }
+    fs.SnapshotToDurable();
+    bool committed = false;
+    fs.Checkpoint([&] { committed = true; });
+    rig.loop.Run();
+    ASSERT_TRUE(committed);
+
+    Rng rng(606);
+    for (int op = 0; op < 40; ++op) {
+      InodeNo ino = files[rng.Uniform(files.size())];
+      fs.Write(ino, rng.Uniform(8) * kPageSize, kPageSize, IoClass::kBestEffort,
+               nullptr);
+      rig.loop.RunUntil(rig.loop.now() + Millis(1));
+      if (op % 10 == 9) {
+        fs.Sync([] {});  // grow the synced log tail past the checkpoint
+      }
+    }
+    rig.loop.RunUntil(rig.loop.now() + Millis(5));
+    rig.device.CrashFreeze();
+  }
+
+  image.Thaw();
+  SimRig rig(32'768, Micros(50));
+  LogFs fs(&rig.loop, &rig.device, /*cache_pages=*/128, /*segment_blocks=*/64);
+  fs.AttachDurableImage(&image);
+  MountReport report;
+  bool mounted = false;
+  fs.Mount([&](const MountReport& r) {
+    report = r;
+    mounted = true;
+  });
+  rig.loop.Run();
+  ASSERT_TRUE(mounted);
+  ASSERT_TRUE(report.status.ok()) << report.status.message();
+  EXPECT_GT(report.blocks_replayed, 0u);  // the synced tail rolled forward
+  FsckReport fsck = fs.CheckConsistency();
+  EXPECT_EQ(fsck.structural_errors, 0u) << "first bad block " << fsck.first_bad_block;
+  EXPECT_EQ(fsck.checksum_errors, 0u);
+  CheckLogFsInvariants(fs);
+
+  Rng rng(707);
+  std::vector<InodeNo> files;
+  fs.ns().ForEachInode([&](const Inode& inode) {
+    if (!inode.is_dir()) {
+      files.push_back(inode.ino);
+    }
+  });
+  ASSERT_EQ(files.size(), 12u);
+  for (int op = 0; op < 40; ++op) {
+    InodeNo ino = files[rng.Uniform(files.size())];
+    fs.Write(ino, rng.Uniform(8) * kPageSize, kPageSize, IoClass::kBestEffort,
+             nullptr);
+    rig.loop.RunUntil(rig.loop.now() + Millis(2));
+  }
+  fs.writeback().Sync(nullptr);
+  rig.loop.Run();
+  EXPECT_EQ(fs.cache().DirtyCount(), 0u);
+  CheckLogFsInvariants(fs);
+
+  bool committed = false;
+  fs.Checkpoint([&] { committed = true; });
+  rig.loop.Run();
+  EXPECT_TRUE(committed);
+}
+
 TEST(IntegrationStackTest, DeterministicEndToEnd) {
   // The same seed must produce bit-identical stack state.
   auto run = [](uint64_t seed) {

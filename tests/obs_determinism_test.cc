@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/harness/crash_rig.h"
 #include "src/harness/runner.h"
 #include "src/obs/obs.h"
 
@@ -82,6 +83,45 @@ TEST(GoldenTraceTest, FaultSeedReplayIsByteIdentical) {
   MaintenanceRunResult third = RunMaintenance(config);
   EXPECT_NE(third.fault_fingerprint, first.fault_fingerprint);
   EXPECT_NE(third.trace_fingerprint, first.trace_fingerprint);
+}
+
+TEST(GoldenTraceTest, CrashRecoveryReplaysByteIdentical) {
+  // A crash/recover cycle — workload, plug pull, remount, replay — must be as
+  // deterministic as any other run: same config, same trace, same metrics.
+  // This is what lets a failing torture point be replayed in isolation.
+  for (CrashFsKind fs : {CrashFsKind::kCow, CrashFsKind::kLog}) {
+    CrashRunConfig config;
+    config.fs = fs;
+    config.seed = 77;
+    config.crash_at_time = Millis(333);
+
+    obs::ObsContext a;
+    {
+      obs::ObsScope scope(&a);
+      RunCrashRecovery(config);
+    }
+    obs::ObsContext b;
+    {
+      obs::ObsScope scope(&b);
+      RunCrashRecovery(config);
+    }
+    EXPECT_NE(a.trace.Fingerprint(), obs::Tracer::kFnvOffset);  // events flowed
+    EXPECT_EQ(a.trace.Fingerprint(), b.trace.Fingerprint());
+    obs::MetricsSnapshot sa = a.metrics.Snapshot();
+    obs::MetricsSnapshot sb = b.metrics.Snapshot();
+    EXPECT_EQ(sa.counters, sb.counters);
+    EXPECT_EQ(sa.gauges, sb.gauges);
+
+    // A different workload seed must diverge the trace: the fingerprint is
+    // sensitive, not vacuously stable.
+    config.seed = 78;
+    obs::ObsContext c;
+    {
+      obs::ObsScope scope(&c);
+      RunCrashRecovery(config);
+    }
+    EXPECT_NE(c.trace.Fingerprint(), a.trace.Fingerprint());
+  }
 }
 
 TEST(GoldenTraceTest, RsyncAndGcRunnersAreDeterministic) {
