@@ -12,9 +12,16 @@ using namespace duet;
 
 namespace {
 
+struct StateSessionResult {
+  uint64_t peak_descriptors = 0;
+  uint64_t cache_capacity = 0;
+  uint64_t descriptor_bytes = 0;
+  uint64_t cache_bytes = 0;
+};
+
 // Runs the webserver over a state session; `poll` controls whether the
 // session fetches (as real tasks do, many times a second) or never fetches.
-void RunStateSession(const StackConfig& stack, bool poll) {
+StateSessionResult RunStateSession(const StackConfig& stack, bool poll) {
   WorkloadConfig workload = MakeWorkloadConfig(stack, Personality::kWebserver, 1.0,
                                                false, /*ops_per_sec=*/0, 42);
   CowRig rig(stack, workload);
@@ -47,11 +54,27 @@ void RunStateSession(const StackConfig& stack, bool poll) {
          static_cast<unsigned long long>(descriptors),
          static_cast<unsigned long long>(peak_descriptors),
          static_cast<unsigned long long>(2 * cached));
-  printf("  descriptor memory:   %.1f KiB (32 B each) = %.2f%% of cache memory "
-         "(paper worst case: 1.5%%)\n\n",
+  printf("  descriptor memory:   %.1f KiB (arena + page table) = %.2f%% of "
+         "cache memory (paper, descriptors alone: 1.5%%)\n\n",
          static_cast<double>(rig.duet().DescriptorMemoryBytes()) / 1024.0,
          100.0 * static_cast<double>(rig.duet().DescriptorMemoryBytes()) /
              (static_cast<double>(cached) * kPageSize));
+  StateSessionResult out;
+  out.peak_descriptors = peak_descriptors;
+  out.cache_capacity = rig.fs().cache().capacity();
+  out.descriptor_bytes = rig.duet().DescriptorMemoryBytes();
+  out.cache_bytes = cached * kPageSize;
+  return out;
+}
+
+// Envelope check: prints and returns false when a bound is violated, so the
+// smoke run fails loudly if descriptor/bitmap memory drifts off the paper's
+// envelope.
+bool CheckEnvelope(const char* what, double value, double bound) {
+  bool ok = value <= bound;
+  printf("envelope: %-46s %10.3f <= %.3f  %s\n", what, value, bound,
+         ok ? "ok" : "VIOLATED");
+  return ok;
 }
 
 }  // namespace
@@ -64,7 +87,7 @@ int main(int argc, char** argv) {
       "cache memory); ~1.5 MB of done bitmap per 50 GB scrubbed",
       stack);
 
-  RunStateSession(stack, /*poll=*/true);
+  StateSessionResult polling = RunStateSession(stack, /*poll=*/true);
   RunStateSession(stack, /*poll=*/false);
 
   // Done-bitmap footprint at the paper's scale: one bit per 4 KiB block of a
@@ -84,7 +107,33 @@ int main(int argc, char** argv) {
     sparse.SetRange(i * 100, i * 100 + 1000);
   }
   printf("  sparse marking (1%% of blocks): %.3f MiB — chunks allocate on "
-         "demand\n",
+         "demand\n\n",
          static_cast<double>(sparse.MemoryBytes()) / (1024.0 * 1024.0));
+
+  // Hard envelope checks (exit non-zero on violation so the bench_smoke
+  // ctest entry gates them):
+  //  * a polling state session's live descriptors stay within the paper's
+  //    2 x cached-pages bound (§6.4);
+  //  * the sizeof-accurate descriptor store (arena capacity + freelist +
+  //    page table, i.e. more than the paper's bare 32 B/descriptor) stays a
+  //    small fraction of cache memory;
+  //  * a fully-set done bitmap for 50 GB of blocks stays within the paper's
+  //    ~1.5 MiB / ~1 MB-per-task envelope (2 MiB with chunk headers).
+  bool ok = true;
+  ok &= CheckEnvelope("peak descriptors / cache capacity (poll)",
+                      static_cast<double>(polling.peak_descriptors) /
+                          static_cast<double>(polling.cache_capacity),
+                      2.0);
+  ok &= CheckEnvelope("descriptor memory % of cache memory",
+                      100.0 * static_cast<double>(polling.descriptor_bytes) /
+                          static_cast<double>(polling.cache_bytes),
+                      8.0);
+  ok &= CheckEnvelope("done bitmap MiB, 50 GB fully scrubbed",
+                      static_cast<double>(done.MemoryBytes()) / (1024.0 * 1024.0),
+                      2.0);
+  if (!ok) {
+    printf("memory envelope violated\n");
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,259 @@
+// Perf-regression harness for the stack's hot paths.
+//
+// Runs a fixed set of seconds-scale measurements — hand-timed hook-dispatch
+// loops (the micro_duet_hooks scenarios), a fig02-style scrub run, and a
+// table6-style GC run — and writes the results as JSON:
+//
+//   perf_runner [--smoke] [--out PATH]
+//
+// Each measurement records operations executed, wall-clock milliseconds,
+// derived ops/sec, and (where meaningful) the peak descriptor-arena bytes
+// observed. tools/perf_compare.py diffs two such files and fails on
+// regression; CI runs it against the checked-in bench/BENCH_hotpath.json
+// baseline (refresh the baseline with --out bench/BENCH_hotpath.json after
+// intentional perf changes).
+//
+// The simulated work is deterministic (fixed seeds); only the wall-clock
+// numbers vary run to run, which is exactly what the harness is gating.
+// --long runs the same op counts as --smoke but repeats each measurement
+// and keeps the minimum wall-clock, so a baseline refreshed with --long is
+// directly comparable to a single-shot --smoke run in CI.
+
+#include <chrono>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/cowfs/cowfs.h"
+#include "src/duet/duet_core.h"
+#include "src/util/crc32c.h"
+#include "tests/sim_fixture.h"
+
+namespace duet {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Measurement {
+  std::string name;
+  uint64_t ops = 0;
+  double wall_ms = 0;
+  uint64_t peak_descriptor_bytes = 0;
+};
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// The micro_duet_hooks HookRig, sized identically so numbers are comparable.
+struct HookRig {
+  HookRig() : rig(1'000'000, Micros(1)), fs(&rig.loop, &rig.device, 1 << 16), duet(&fs) {
+    ino = *fs.PopulateFile("/f", (1 << 14) * kPageSize);
+  }
+  SimRig rig;
+  CowFs fs;
+  DuetCore duet;
+  InodeNo ino;
+};
+
+Measurement MeasureHookDispatchNoSessions(uint64_t iters) {
+  HookRig rig;
+  auto start = Clock::now();
+  for (uint64_t i = 0; i < iters; ++i) {
+    rig.fs.cache().Insert(rig.ino, i % (1 << 14), i, false);
+  }
+  Measurement m{"hook_dispatch_no_sessions", iters, MsSince(start)};
+  m.peak_descriptor_bytes = rig.duet.DescriptorMemoryBytes();
+  return m;
+}
+
+Measurement MeasureHookDispatchOneEventSession(uint64_t iters) {
+  HookRig rig;
+  SessionId sid = *rig.duet.RegisterBlockTask(kDuetPageAdded | kDuetPageRemoved);
+  uint64_t peak = 0;
+  auto start = Clock::now();
+  for (uint64_t i = 1; i <= iters; ++i) {
+    PageIdx idx = i % (1 << 14);
+    rig.fs.cache().Insert(rig.ino, idx, i, false);
+    rig.fs.cache().Remove(rig.ino, idx);
+    if (i % 4096 == 0) {
+      peak = std::max(peak, rig.duet.DescriptorMemoryBytes());
+      (void)rig.duet.Fetch(sid, 1 << 14);  // drain so descriptors recycle
+    }
+  }
+  // 2 hook events per iteration (insert + remove).
+  Measurement m{"hook_dispatch_one_event_session", iters * 2, MsSince(start)};
+  m.peak_descriptor_bytes = peak;
+  return m;
+}
+
+Measurement MeasureHookDispatchSixteenSessions(uint64_t iters) {
+  HookRig rig;
+  std::vector<SessionId> sids;
+  for (int s = 0; s < 16; ++s) {
+    sids.push_back(*rig.duet.RegisterBlockTask(kDuetPageExists));
+  }
+  uint64_t peak = 0;
+  auto start = Clock::now();
+  for (uint64_t i = 1; i <= iters; ++i) {
+    rig.fs.cache().Insert(rig.ino, i % (1 << 14), i, false);
+    if (i % 4096 == 0) {
+      peak = std::max(peak, rig.duet.DescriptorMemoryBytes());
+      for (SessionId sid : sids) {
+        (void)rig.duet.Fetch(sid, 1 << 14);
+      }
+    }
+  }
+  Measurement m{"hook_dispatch_sixteen_sessions", iters, MsSince(start)};
+  m.peak_descriptor_bytes = peak;
+  return m;
+}
+
+Measurement MeasureFetchBatch(uint64_t batches, uint64_t batch) {
+  HookRig rig;
+  SessionId sid = *rig.duet.RegisterBlockTask(kDuetPageAdded);
+  uint64_t produced = 0;
+  double wall_ms = 0;
+  for (uint64_t b = 0; b < batches; ++b) {
+    for (uint64_t k = 0; k < batch; ++k) {
+      rig.fs.cache().Insert(rig.ino, (produced + k) % (1 << 14), k, false);
+    }
+    produced += batch;
+    auto start = Clock::now();
+    auto items = rig.duet.Fetch(sid, batch);
+    wall_ms += MsSince(start);
+    if (!items.ok()) {
+      break;
+    }
+  }
+  return Measurement{"fetch_batch_256", batches * batch, wall_ms};
+}
+
+Measurement MeasureCrc32c(uint64_t iters) {
+  std::vector<uint8_t> buf(1 << 16);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<uint8_t>(i * 131 + 17);
+  }
+  uint32_t acc = 0;
+  auto start = Clock::now();
+  for (uint64_t i = 0; i < iters; ++i) {
+    acc = Crc32c(buf.data(), buf.size(), acc);
+  }
+  Measurement m{std::string("crc32c_64k_") + Crc32cImplName(), iters,
+                MsSince(start)};
+  if (acc == 0xdeadbeef) {  // keep the checksum observable
+    printf("(unlikely)\n");
+  }
+  return m;
+}
+
+Measurement MeasureScrubRun(const StackConfig& stack) {
+  RateTable rates((std::string()));  // in-memory rate cache
+  auto start = Clock::now();
+  MaintenanceRunResult result =
+      RunAtUtil(rates, stack, Personality::kWebserver, /*coverage=*/1.0,
+                /*skewed=*/false, /*util=*/0.6, {MaintKind::kScrub},
+                /*use_duet=*/true);
+  Measurement m{"fig02_scrub_duet_smoke", result.workload_ops, MsSince(start)};
+  return m;
+}
+
+Measurement MeasureGcRun(const StackConfig& stack) {
+  auto start = Clock::now();
+  GcRunResult result = RunGc(stack, /*target_util=*/0.6, /*use_duet=*/true,
+                             /*seed=*/42, /*ops_per_sec=*/800,
+                             /*unthrottled=*/false, /*skewed=*/false);
+  Measurement m{"table6_gc_duet_smoke", result.segments_cleaned, MsSince(start)};
+  return m;
+}
+
+void WriteJson(const std::vector<Measurement>& ms, const std::string& path) {
+  FILE* out = path.empty() ? stdout : fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    fprintf(stderr, "cannot open %s\n", path.c_str());
+    exit(1);
+  }
+  fprintf(out, "{\n  \"schema\": 1,\n  \"crc32c_impl\": \"%s\",\n",
+          Crc32cImplName());
+  fprintf(out, "  \"measurements\": [\n");
+  for (size_t i = 0; i < ms.size(); ++i) {
+    const Measurement& m = ms[i];
+    double ops_per_sec = m.wall_ms > 0 ? m.ops / (m.wall_ms / 1000.0) : 0;
+    fprintf(out,
+            "    {\"name\": \"%s\", \"ops\": %llu, \"wall_ms\": %.3f, "
+            "\"ops_per_sec\": %.1f, \"peak_descriptor_bytes\": %llu}%s\n",
+            m.name.c_str(), static_cast<unsigned long long>(m.ops), m.wall_ms,
+            ops_per_sec, static_cast<unsigned long long>(m.peak_descriptor_bytes),
+            i + 1 < ms.size() ? "," : "");
+  }
+  fprintf(out, "  ]\n}\n");
+  if (out != stdout) {
+    fclose(out);
+  }
+}
+
+}  // namespace
+}  // namespace duet
+
+int main(int argc, char** argv) {
+  using namespace duet;
+  StackConfig stack = SmokeStackConfig();
+  std::string out_path;
+  int reps = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--smoke") {
+      // default; kept so the ctest harness can pass it uniformly
+    } else if (arg == "--long") {
+      // Baseline-refresh mode: identical op counts (so wall_ms stays
+      // comparable with --smoke runs), but each measurement repeats and the
+      // minimum wall-clock is kept — the least-perturbed run is the best
+      // estimate of the true cost on a shared machine.
+      reps = 5;
+    } else if (arg == "--reps" && i + 1 < argc) {
+      // Explicit repetition count; CI uses --smoke --reps 3 so the gated
+      // side is also a minimum, not a single sample of scheduler jitter.
+      reps = std::max(1, atoi(argv[++i]));
+    }
+  }
+
+  // Runs fn() `reps` times and keeps the repetition with the lowest wall_ms.
+  auto best = [reps](auto fn) {
+    Measurement m = fn();
+    for (int r = 1; r < reps; ++r) {
+      Measurement again = fn();
+      if (again.wall_ms < m.wall_ms) {
+        m = again;
+      }
+    }
+    return m;
+  };
+
+  std::vector<Measurement> ms;
+  ms.push_back(best([] { return MeasureHookDispatchNoSessions(400'000); }));
+  ms.push_back(best([] { return MeasureHookDispatchOneEventSession(200'000); }));
+  ms.push_back(best([] { return MeasureHookDispatchSixteenSessions(200'000); }));
+  // Enough batches that the timed Fetch region is tens of ms — sub-ms
+  // measurements can't be gated at 25% on a shared host.
+  ms.push_back(best([] { return MeasureFetchBatch(20'000, 256); }));
+  ms.push_back(best([] { return MeasureCrc32c(2'000); }));
+  ms.push_back(best([&stack] { return MeasureScrubRun(stack); }));
+  ms.push_back(best([&stack] { return MeasureGcRun(stack); }));
+
+  for (const Measurement& m : ms) {
+    double ops_per_sec = m.wall_ms > 0 ? m.ops / (m.wall_ms / 1000.0) : 0;
+    printf("%-36s %10llu ops  %9.2f ms  %12.0f ops/s  peak_desc %llu B\n",
+           m.name.c_str(), static_cast<unsigned long long>(m.ops), m.wall_ms,
+           ops_per_sec, static_cast<unsigned long long>(m.peak_descriptor_bytes));
+  }
+  if (!out_path.empty()) {
+    WriteJson(ms, out_path);
+    printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

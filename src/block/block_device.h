@@ -7,8 +7,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/block/disk_model.h"
@@ -152,7 +152,9 @@ class BlockDevice {
     DurableContent content;
   };
   std::vector<VolatileWrite> volatile_writes_;
-  std::map<BlockNo, size_t> volatile_index_;  // live block -> entry index
+  // Live block -> entry index. Only point lookups — commit/replay order
+  // comes from volatile_writes_ itself, so no sorted container is needed.
+  std::unordered_map<BlockNo, size_t> volatile_index_;
   std::deque<PendingFlush> waiting_flushes_;
   uint64_t write_serial_ = 0;      // last serial stamped on a write
   uint64_t outstanding_writes_ = 0;

@@ -33,6 +33,14 @@ PageCache::PageCache(uint64_t capacity_pages, std::function<SimTime()> clock)
     : capacity_(capacity_pages), clock_(std::move(clock)), obs_(obs::CurrentObs()) {
   assert(capacity_ > 0);
   assert(clock_ != nullptr);
+  // Pre-size the entry arena for the configured capacity: the steady state
+  // allocates nothing. The page table deliberately starts small and doubles
+  // on demand: sizing it for full capacity up front would spread every probe
+  // across megabytes of mostly-empty cells (evicting L1/L2 on workloads
+  // whose live page set is far below capacity), while demand growth keeps
+  // the table proportional to the working set at O(n) amortized rehash.
+  arena_.reserve(capacity_ + capacity_ / 4);
+  free_slots_.reserve(64);
   ctr_events_[0] = obs_->metrics.GetCounter("cache.added");
   ctr_events_[1] = obs_->metrics.GetCounter("cache.removed");
   ctr_events_[2] = obs_->metrics.GetCounter("cache.dirtied");
@@ -43,27 +51,120 @@ PageCache::PageCache(uint64_t capacity_pages, std::function<SimTime()> clock)
   ctr_removed_dirty_ = obs_->metrics.GetCounter("cache.removed_dirty");
 }
 
-void PageCache::Emit(PageEventType type, InodeNo ino, PageIdx idx) {
+void PageCache::Emit(PageEventType type, InodeNo ino, PageIdx idx,
+                     bool exists, bool dirty) {
   ++stats_.events_emitted;
   ctr_events_[static_cast<int>(type)]->Add();
   obs_->trace.Emit(clock_(), obs::TraceLayer::kCache,
                    kPageTraceKind[static_cast<int>(type)], ino, idx);
-  PageEvent event{type, ino, idx};
+  PageEvent event{type, ino, idx, exists, dirty};
   for (PageEventListener* l : listeners_) {
     l->OnPageEvent(event);
   }
 }
 
+void PageCache::CommitEntry(uint32_t slot, InodeNo ino, PageIdx idx) {
+  // `slot` was peeked (freelist back / arena end) before the page-table
+  // probe; commit the allocation it named.
+  if (!free_slots_.empty()) {
+    assert(free_slots_.back() == slot);
+    free_slots_.pop_back();
+  } else {
+    assert(slot == arena_.size());
+    arena_.emplace_back();
+  }
+  Entry& e = arena_[slot];
+  e.ino = ino;
+  e.idx = idx;
+  e.live = true;
+  // LRU front (MRU end).
+  e.lru_newer = kNoSlot;
+  e.lru_older = lru_head_;
+  if (lru_head_ != kNoSlot) {
+    arena_[lru_head_].lru_newer = slot;
+  }
+  lru_head_ = slot;
+  if (lru_tail_ == kNoSlot) {
+    lru_tail_ = slot;
+  }
+  // Inode chain tail (insertion order, the canonical iteration order).
+  InodeChain& chain = inode_chains_[ino];
+  e.ino_next = kNoSlot;
+  e.ino_prev = chain.tail;
+  if (chain.tail != kNoSlot) {
+    arena_[chain.tail].ino_next = slot;
+  } else {
+    chain.head = slot;
+  }
+  chain.tail = slot;
+  ++chain.count;
+  ++page_count_;
+}
+
+// The caller has already removed the key from the page table (fused with
+// its lookup probe); this only unlinks and recycles the arena entry.
+void PageCache::DestroyEntry(uint32_t slot) {
+  Entry& e = arena_[slot];
+  assert(e.live);
+  // LRU unlink.
+  if (e.lru_newer != kNoSlot) {
+    arena_[e.lru_newer].lru_older = e.lru_older;
+  } else {
+    lru_head_ = e.lru_older;
+  }
+  if (e.lru_older != kNoSlot) {
+    arena_[e.lru_older].lru_newer = e.lru_newer;
+  } else {
+    lru_tail_ = e.lru_newer;
+  }
+  // Inode chain unlink.
+  auto it = inode_chains_.find(e.ino);
+  assert(it != inode_chains_.end());
+  InodeChain& chain = it->second;
+  if (e.ino_prev != kNoSlot) {
+    arena_[e.ino_prev].ino_next = e.ino_next;
+  } else {
+    chain.head = e.ino_next;
+  }
+  if (e.ino_next != kNoSlot) {
+    arena_[e.ino_next].ino_prev = e.ino_prev;
+  } else {
+    chain.tail = e.ino_prev;
+  }
+  // Deliberately keep the chain record when it empties: insert/remove churn
+  // on the same inode would otherwise rebuild the directory entry on every
+  // cycle. Empty records are 24 bytes, bounded by the number of distinct
+  // inodes ever cached, and reaped by RemoveInode (truncate/delete).
+  --chain.count;
+  e = Entry{};
+  free_slots_.push_back(slot);
+  --page_count_;
+}
+
+void PageCache::MoveToLruFront(uint32_t slot) {
+  if (slot == lru_head_) {
+    return;
+  }
+  Entry& e = arena_[slot];
+  arena_[e.lru_newer].lru_older = e.lru_older;  // slot != head => newer exists
+  if (e.lru_older != kNoSlot) {
+    arena_[e.lru_older].lru_newer = e.lru_newer;
+  } else {
+    lru_tail_ = e.lru_newer;
+  }
+  e.lru_newer = kNoSlot;
+  e.lru_older = lru_head_;
+  arena_[lru_head_].lru_newer = slot;
+  lru_head_ = slot;
+}
+
 std::optional<uint64_t> PageCache::Lookup(InodeNo ino, PageIdx idx) {
-  auto ino_it = pages_.find(ino);
-  if (ino_it != pages_.end()) {
-    auto it = ino_it->second.find(idx);
-    if (it != ino_it->second.end()) {
-      ++stats_.hits;
-      ctr_hits_->Add();
-      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-      return it->second.page.data;
-    }
+  uint32_t slot = FindSlot(ino, idx);
+  if (slot != kNoSlot) {
+    ++stats_.hits;
+    ctr_hits_->Add();
+    MoveToLruFront(slot);
+    return arena_[slot].page.data;
   }
   ++stats_.misses;
   ctr_misses_->Add();
@@ -71,155 +172,148 @@ std::optional<uint64_t> PageCache::Lookup(InodeNo ino, PageIdx idx) {
 }
 
 const CachedPage* PageCache::Peek(InodeNo ino, PageIdx idx) const {
-  auto ino_it = pages_.find(ino);
-  if (ino_it == pages_.end()) {
-    return nullptr;
-  }
-  auto it = ino_it->second.find(idx);
-  if (it == ino_it->second.end()) {
-    return nullptr;
-  }
-  return &it->second.page;
+  uint32_t slot = FindSlot(ino, idx);
+  return slot == kNoSlot ? nullptr : &arena_[slot].page;
 }
 
 void PageCache::Insert(InodeNo ino, PageIdx idx, uint64_t data, bool dirty) {
-  auto& ino_map = pages_[ino];
-  auto it = ino_map.find(idx);
-  if (it != ino_map.end()) {
+  // Peek the slot a new entry would take, then resolve lookup + insertion
+  // with a single table probe; the allocation commits only on insertion.
+  uint32_t new_slot = free_slots_.empty()
+                          ? static_cast<uint32_t>(arena_.size())
+                          : free_slots_.back();
+  uint32_t slot = page_table_.FindOrInsert(ino, idx, new_slot);
+  if (slot != new_slot) {
     // Overwrite in place; only a clean->dirty transition emits an event.
-    Entry& entry = it->second;
+    Entry& entry = arena_[slot];
     entry.page.data = data;
-    lru_.splice(lru_.begin(), lru_, entry.lru_it);
+    MoveToLruFront(slot);
     if (dirty && !entry.page.dirty) {
       entry.page.dirty = true;
       entry.page.dirtied_at = clock_();
       ++dirty_count_;
-      Emit(PageEventType::kDirtied, ino, idx);
+      Emit(PageEventType::kDirtied, ino, idx, /*exists=*/true, /*dirty=*/true);
     }
     return;
   }
-  lru_.push_front(PageKey{ino, idx});
-  Entry entry;
+  CommitEntry(slot, ino, idx);
+  Entry& entry = arena_[slot];
   entry.page.data = data;
   entry.page.dirty = dirty;
   entry.page.dirtied_at = dirty ? clock_() : 0;
-  entry.lru_it = lru_.begin();
-  ino_map.emplace(idx, std::move(entry));
-  ++page_count_;
   if (dirty) {
     ++dirty_count_;
   }
   ++stats_.insertions;
-  Emit(PageEventType::kAdded, ino, idx);
+  Emit(PageEventType::kAdded, ino, idx, /*exists=*/true, dirty);
   if (dirty) {
-    Emit(PageEventType::kDirtied, ino, idx);
+    Emit(PageEventType::kDirtied, ino, idx, /*exists=*/true, /*dirty=*/true);
   }
   EvictIfNeeded();
 }
 
 bool PageCache::MarkDirty(InodeNo ino, PageIdx idx, uint64_t data) {
-  auto ino_it = pages_.find(ino);
-  if (ino_it == pages_.end()) {
+  uint32_t slot = FindSlot(ino, idx);
+  if (slot == kNoSlot) {
     return false;
   }
-  auto it = ino_it->second.find(idx);
-  if (it == ino_it->second.end()) {
-    return false;
-  }
-  Entry& entry = it->second;
+  Entry& entry = arena_[slot];
   entry.page.data = data;
-  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+  MoveToLruFront(slot);
   if (!entry.page.dirty) {
     entry.page.dirty = true;
     entry.page.dirtied_at = clock_();
     ++dirty_count_;
-    Emit(PageEventType::kDirtied, ino, idx);
+    Emit(PageEventType::kDirtied, ino, idx, /*exists=*/true, /*dirty=*/true);
   }
   return true;
 }
 
 bool PageCache::MarkClean(InodeNo ino, PageIdx idx) {
-  auto ino_it = pages_.find(ino);
-  if (ino_it == pages_.end()) {
+  uint32_t slot = FindSlot(ino, idx);
+  if (slot == kNoSlot || !arena_[slot].page.dirty) {
     return false;
   }
-  auto it = ino_it->second.find(idx);
-  if (it == ino_it->second.end() || !it->second.page.dirty) {
-    return false;
-  }
-  it->second.page.dirty = false;
+  arena_[slot].page.dirty = false;
   --dirty_count_;
-  Emit(PageEventType::kFlushed, ino, idx);
+  Emit(PageEventType::kFlushed, ino, idx, /*exists=*/true, /*dirty=*/false);
   EvictIfNeeded();  // newly clean pages may satisfy a pending overshoot
   return true;
 }
 
 bool PageCache::Remove(InodeNo ino, PageIdx idx) {
-  auto ino_it = pages_.find(ino);
-  if (ino_it == pages_.end()) {
+  // Erase returns the slot, fusing lookup and table removal into one probe.
+  uint32_t slot = page_table_.Erase(ino, idx);
+  if (slot == kNoSlot) {
     return false;
   }
-  auto it = ino_it->second.find(idx);
-  if (it == ino_it->second.end()) {
-    return false;
-  }
-  if (it->second.page.dirty) {
+  if (arena_[slot].page.dirty) {
     --dirty_count_;
     ++stats_.removed_dirty;
     ctr_removed_dirty_->Add();
   }
-  lru_.erase(it->second.lru_it);
-  ino_it->second.erase(it);
-  if (ino_it->second.empty()) {
-    pages_.erase(ino_it);
-  }
-  --page_count_;
-  Emit(PageEventType::kRemoved, ino, idx);
+  DestroyEntry(slot);
+  Emit(PageEventType::kRemoved, ino, idx, /*exists=*/false, /*dirty=*/false);
   return true;
 }
 
 void PageCache::RemoveInode(InodeNo ino) {
-  auto ino_it = pages_.find(ino);
-  if (ino_it == pages_.end()) {
+  auto it = inode_chains_.find(ino);
+  if (it == inode_chains_.end()) {
     return;
   }
   // Collect indices first: Emit may re-enter observers that inspect us.
   std::vector<PageIdx> indices;
-  indices.reserve(ino_it->second.size());
-  for (const auto& [idx, entry] : ino_it->second) {
-    indices.push_back(idx);
+  indices.reserve(it->second.count);
+  for (uint32_t slot = it->second.head; slot != kNoSlot;
+       slot = arena_[slot].ino_next) {
+    indices.push_back(arena_[slot].idx);
   }
   for (PageIdx idx : indices) {
     Remove(ino, idx);
   }
+  // Reap the (now empty) chain record: the inode is going away for good.
+  it = inode_chains_.find(ino);
+  if (it != inode_chains_.end() && it->second.count == 0) {
+    inode_chains_.erase(it);
+  }
 }
 
 bool PageCache::Contains(InodeNo ino, PageIdx idx) const {
-  return Peek(ino, idx) != nullptr;
+  return FindSlot(ino, idx) != kNoSlot;
 }
 
 uint64_t PageCache::CachedPagesOfInode(InodeNo ino) const {
-  auto it = pages_.find(ino);
-  return it == pages_.end() ? 0 : it->second.size();
+  auto it = inode_chains_.find(ino);
+  return it == inode_chains_.end() ? 0 : it->second.count;
 }
 
 void PageCache::ForEachPage(
     const std::function<void(InodeNo, PageIdx, const CachedPage&)>& fn) const {
-  for (const auto& [ino, ino_map] : pages_) {
-    for (const auto& [idx, entry] : ino_map) {
-      fn(ino, idx, entry.page);
-    }
+  // Canonical order: inodes ascending, then insertion order within each
+  // inode. Hash-table layout must never leak into observable iteration.
+  std::vector<InodeNo> inodes;
+  inodes.reserve(inode_chains_.size());
+  for (const auto& [ino, chain] : inode_chains_) {
+    inodes.push_back(ino);
+  }
+  std::sort(inodes.begin(), inodes.end());
+  for (InodeNo ino : inodes) {
+    ForEachPageOfInode(ino, [&](PageIdx idx, const CachedPage& page) {
+      fn(ino, idx, page);
+    });
   }
 }
 
 void PageCache::ForEachPageOfInode(
     InodeNo ino, const std::function<void(PageIdx, const CachedPage&)>& fn) const {
-  auto it = pages_.find(ino);
-  if (it == pages_.end()) {
+  auto it = inode_chains_.find(ino);
+  if (it == inode_chains_.end()) {
     return;
   }
-  for (const auto& [idx, entry] : it->second) {
-    fn(idx, entry.page);
+  for (uint32_t slot = it->second.head; slot != kNoSlot;
+       slot = arena_[slot].ino_next) {
+    fn(arena_[slot].idx, arena_[slot].page);
   }
 }
 
@@ -227,11 +321,11 @@ std::vector<PageCache::DirtyPageRef> PageCache::CollectDirty(SimTime not_after,
                                                              uint64_t max) const {
   std::vector<DirtyPageRef> out;
   // Walk from the LRU tail (coldest first), as the kernel flusher does.
-  for (auto it = lru_.rbegin(); it != lru_.rend() && out.size() < max; ++it) {
-    const CachedPage* page = Peek(it->ino, it->idx);
-    assert(page != nullptr);
-    if (page->dirty && page->dirtied_at <= not_after) {
-      out.push_back(DirtyPageRef{it->ino, it->idx, page->data});
+  for (uint32_t slot = lru_tail_; slot != kNoSlot && out.size() < max;
+       slot = arena_[slot].lru_newer) {
+    const Entry& e = arena_[slot];
+    if (e.page.dirty && e.page.dirtied_at <= not_after) {
+      out.push_back(DirtyPageRef{e.ino, e.idx, e.page.data});
     }
   }
   return out;
@@ -254,6 +348,12 @@ void PageCache::RemoveListener(PageEventListener* listener) {
                    listeners_.end());
 }
 
+uint64_t PageCache::IndexMemoryBytes() const {
+  return arena_.capacity() * sizeof(Entry) +
+         free_slots_.capacity() * sizeof(uint32_t) + page_table_.MemoryBytes() +
+         inode_chains_.size() * (sizeof(InodeNo) + sizeof(InodeChain));
+}
+
 void PageCache::EvictIfNeeded() {
   if (page_count_ <= capacity_) {
     return;
@@ -261,55 +361,58 @@ void PageCache::EvictIfNeeded() {
   // Evict clean pages from the LRU tail. Dirty pages are skipped; writeback
   // cleans them and calls back here. Victims are collected first so the walk
   // never iterates a list it is mutating.
-  std::vector<PageKey> victims;
+  struct Victim {
+    InodeNo ino;
+    PageIdx idx;
+  };
+  std::vector<Victim> victims;
   uint64_t need = page_count_ - capacity_;
   if (advisor_ != nullptr) {
     // Informed replacement: within a window of the coldest pages, evict the
     // ones the advisor marks (already-processed data) before plain LRU.
-    std::vector<PageKey> fallback;
+    std::vector<Victim> fallback;
     size_t scanned = 0;
-    for (auto it = lru_.rbegin();
-         it != lru_.rend() && victims.size() < need &&
+    for (uint32_t slot = lru_tail_;
+         slot != kNoSlot && victims.size() < need &&
          scanned < std::max<size_t>(advisor_window_, need);
-         ++it, ++scanned) {
-      if (*it == lru_.front()) {
+         slot = arena_[slot].lru_newer, ++scanned) {
+      if (slot == lru_head_) {
         break;
       }
-      const CachedPage* page = Peek(it->ino, it->idx);
-      assert(page != nullptr);
-      if (page->dirty) {
+      const Entry& e = arena_[slot];
+      if (e.page.dirty) {
         continue;
       }
-      if (advisor_(it->ino, it->idx)) {
-        victims.push_back(*it);
+      if (advisor_(e.ino, e.idx)) {
+        victims.push_back(Victim{e.ino, e.idx});
       } else {
-        fallback.push_back(*it);
+        fallback.push_back(Victim{e.ino, e.idx});
       }
     }
-    for (const PageKey& key : fallback) {
+    for (const Victim& v : fallback) {
       if (victims.size() >= need) {
         break;
       }
-      victims.push_back(key);
+      victims.push_back(v);
     }
   } else {
-    for (auto it = lru_.rbegin(); it != lru_.rend() && victims.size() < need; ++it) {
-      if (*it == lru_.front()) {
+    for (uint32_t slot = lru_tail_; slot != kNoSlot && victims.size() < need;
+         slot = arena_[slot].lru_newer) {
+      if (slot == lru_head_) {
         break;  // never evict the page that was just inserted/touched
       }
-      const CachedPage* page = Peek(it->ino, it->idx);
-      assert(page != nullptr);
-      if (!page->dirty) {
-        victims.push_back(*it);
+      const Entry& e = arena_[slot];
+      if (!e.page.dirty) {
+        victims.push_back(Victim{e.ino, e.idx});
       }
     }
   }
-  for (const PageKey& key : victims) {
+  for (const Victim& v : victims) {
     ++stats_.evictions;
     ctr_evictions_->Add();
     obs_->trace.Emit(clock_(), obs::TraceLayer::kCache,
-                     obs::TraceKind::kPageEvicted, key.ino, key.idx);
-    Remove(key.ino, key.idx);
+                     obs::TraceKind::kPageEvicted, v.ino, v.idx);
+    Remove(v.ino, v.idx);
   }
 }
 

@@ -18,7 +18,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +25,7 @@
 #include "src/cache/page_event.h"
 #include "src/obs/obs.h"
 #include "src/sim/time.h"
+#include "src/util/flat_page_map.h"
 #include "src/util/types.h"
 
 namespace duet {
@@ -62,7 +62,9 @@ class PageCache {
   std::optional<uint64_t> Lookup(InodeNo ino, PageIdx idx);
 
   // Peeks without touching LRU or hit/miss counters (used by opportunistic
-  // readers that must not perturb recency, and by tests).
+  // readers that must not perturb recency, and by tests). The returned
+  // pointer is valid only until the next Insert (the entry arena may grow);
+  // consume it before mutating the cache.
   const CachedPage* Peek(InodeNo ino, PageIdx idx) const;
 
   // Inserts (or overwrites) a page. `dirty` pages are timestamped. Emits
@@ -94,10 +96,13 @@ class PageCache {
   // Number of cached pages belonging to `ino` (defrag/rsync prioritization).
   uint64_t CachedPagesOfInode(InodeNo ino) const;
 
-  // Iterates over every cached page (Duet's registration-time scan).
+  // Iterates over every cached page (Duet's registration-time scan), in
+  // canonical order: inodes ascending, pages of an inode in cache-insertion
+  // order. The order is part of the determinism contract — it must not
+  // depend on hash-table layout.
   void ForEachPage(const std::function<void(InodeNo, PageIdx, const CachedPage&)>& fn) const;
 
-  // Iterates over the pages of one inode.
+  // Iterates over the pages of one inode, in cache-insertion order.
   void ForEachPageOfInode(
       InodeNo ino, const std::function<void(PageIdx, const CachedPage&)>& fn) const;
 
@@ -127,29 +132,61 @@ class PageCache {
 
   const PageCacheStats& stats() const { return stats_; }
 
+  // sizeof-accurate heap footprint of the cache index (entry arena, freelist,
+  // flat page table, per-inode chain directory).
+  uint64_t IndexMemoryBytes() const;
+
  private:
-  struct PageKey {
-    InodeNo ino;
-    PageIdx idx;
-    bool operator==(const PageKey&) const = default;
-  };
-  struct PageKeyHash {
-    size_t operator()(const PageKey& k) const {
-      return std::hash<uint64_t>()(k.ino * 0x9e3779b97f4a7c15ULL ^ k.idx);
-    }
-  };
+  static constexpr uint32_t kNoSlot = FlatPageMap::kNoSlot;
+
+  // One cached page. Entries live in a packed arena; the flat page table
+  // maps (inode, index) -> arena slot. LRU and per-inode membership are
+  // intrusive slot-linked lists, so every cache operation is O(1) with no
+  // allocation on the steady path.
   struct Entry {
+    InodeNo ino = kInvalidInode;
+    PageIdx idx = 0;
     CachedPage page;
-    std::list<PageKey>::iterator lru_it;
+    uint32_t lru_newer = kNoSlot;  // toward MRU
+    uint32_t lru_older = kNoSlot;  // toward LRU tail
+    uint32_t ino_next = kNoSlot;   // per-inode chain, insertion order
+    uint32_t ino_prev = kNoSlot;
+    bool live = false;
+  };
+  // Per-inode chain bookkeeping: head/tail of the intrusive chain plus a
+  // count so CachedPagesOfInode is O(1).
+  struct InodeChain {
+    uint32_t head = kNoSlot;
+    uint32_t tail = kNoSlot;
+    uint64_t count = 0;
   };
 
-  void Emit(PageEventType type, InodeNo ino, PageIdx idx);
+  // `exists`/`dirty` are the page's post-event state, forwarded to listeners
+  // in the PageEvent so they never re-probe the index on the hook path.
+  void Emit(PageEventType type, InodeNo ino, PageIdx idx, bool exists,
+            bool dirty);
   void EvictIfNeeded();
+
+  uint32_t FindSlot(InodeNo ino, PageIdx idx) const {
+    return page_table_.Find(ino, idx);
+  }
+  // Commits the arena allocation named by `slot` (peeked before the fused
+  // table probe) and links it (LRU front, inode chain tail). The caller has
+  // already inserted the key into the page table and fills in the payload.
+  void CommitEntry(uint32_t slot, InodeNo ino, PageIdx idx);
+  // Unlinks and recycles an entry. The caller has already erased the key
+  // from the page table. Does not emit.
+  void DestroyEntry(uint32_t slot);
+  void MoveToLruFront(uint32_t slot);
 
   uint64_t capacity_;
   std::function<SimTime()> clock_;
-  std::unordered_map<InodeNo, std::unordered_map<PageIdx, Entry>> pages_;
-  std::list<PageKey> lru_;  // front = most recently used
+  FlatPageMap page_table_;
+  std::vector<Entry> arena_;
+  std::vector<uint32_t> free_slots_;
+  std::unordered_map<InodeNo, InodeChain> inode_chains_;
+  uint32_t lru_head_ = kNoSlot;  // most recently used
+  uint32_t lru_tail_ = kNoSlot;  // coldest
   uint64_t page_count_ = 0;
   uint64_t dirty_count_ = 0;
   std::vector<PageEventListener*> listeners_;

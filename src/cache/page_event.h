@@ -21,6 +21,12 @@ struct PageEvent {
   PageEventType type;
   InodeNo ino;
   PageIdx idx;
+  // Page state as of *after* the event, captured by the cache at emit time.
+  // Listeners that track current state (Duet's merged descriptors) read
+  // these instead of looking the page up again — the hook path stays free
+  // of redundant index probes.
+  bool exists = false;
+  bool dirty = false;
 };
 
 // Implemented by the Duet framework; the page cache invokes listeners on

@@ -1,6 +1,7 @@
 #include "src/duet/duet_core.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <utility>
 
@@ -60,6 +61,29 @@ DuetCore::~DuetCore() {
   fs_->ns().RemoveObserver(this);
 }
 
+void DuetCore::RebuildInterestMasks() {
+  active_mask_ = 0;
+  state_mask_ = 0;
+  event_interest_.fill(0);
+  for (SessionId sid = 0; sid < config_.max_sessions; ++sid) {
+    const Session& s = sessions_[sid];
+    if (!s.active) {
+      continue;
+    }
+    uint64_t bit = 1ull << sid;
+    active_mask_ |= bit;
+    if (SubscribesState(s)) {
+      state_mask_ |= bit;
+    }
+    for (int t = 0; t < 4; ++t) {
+      auto type = static_cast<PageEventType>(t);
+      if ((s.mask & (EventBit(type) | AffectedStateBit(type))) != 0) {
+        event_interest_[t] |= bit;
+      }
+    }
+  }
+}
+
 Result<SessionId> DuetCore::AllocateSession(uint8_t mask) {
   if ((mask & (kDuetEventMask | kDuetStateMask)) == 0) {
     return Status(StatusCode::kInvalidArgument, "empty notification mask");
@@ -67,6 +91,10 @@ Result<SessionId> DuetCore::AllocateSession(uint8_t mask) {
   for (SessionId sid = 0; sid < config_.max_sessions; ++sid) {
     if (!sessions_[sid].active) {
       Session& s = sessions_[sid];
+      s.done.Reset();
+      s.relevant.Reset();
+      s.flags.Reset();
+      s.queue.clear();
       s = Session{};
       s.active = true;
       s.mask = mask;
@@ -96,6 +124,7 @@ Result<SessionId> DuetCore::RegisterFileTask(std::string_view path, uint8_t mask
   uint64_t inode_bits = fs_->ns().max_ino() + 4096;
   s.done.Resize(inode_bits);
   s.relevant.Resize(inode_bits);
+  RebuildInterestMasks();
   obs_->metrics.GetCounter("duet.sessions.registered")->Add();
   obs_->trace.Emit(Now(), obs::TraceLayer::kDuet,
                    obs::TraceKind::kSessionRegistered, *sid, mask, 0);
@@ -111,6 +140,7 @@ Result<SessionId> DuetCore::RegisterBlockTask(uint8_t mask) {
   Session& s = sessions_[*sid];
   s.is_block = true;
   s.done.Resize(fs_->capacity_blocks());
+  RebuildInterestMasks();
   obs_->metrics.GetCounter("duet.sessions.registered")->Add();
   obs_->trace.Emit(Now(), obs::TraceLayer::kDuet,
                    obs::TraceKind::kSessionRegistered, *sid, mask, 1);
@@ -124,17 +154,18 @@ Status DuetCore::Deregister(SessionId sid) {
   }
   Session& s = sessions_[sid];
   s.active = false;
-  // Clear this session's bytes in every descriptor and drop empties.
-  std::vector<PageKey> keys;
-  keys.reserve(descriptors_.size());
-  for (auto& [key, d] : descriptors_) {
-    d.flags[sid] = 0;
-    keys.push_back(key);
-  }
-  for (const PageKey& key : keys) {
-    MaybeFreeDescriptor(key);
+  // Drop this session's whole flag plane in one shot (it holds every byte
+  // the session ever wrote), then sweep live descriptors for ones nobody
+  // needs any more.
+  s.flags.Reset();
+  RebuildInterestMasks();
+  for (uint32_t slot = 0; slot < arena_.size(); ++slot) {
+    if (arena_[slot].live) {
+      MaybeFreeDescriptor(PageKey{arena_[slot].ino, arena_[slot].idx}, slot);
+    }
   }
   s.queue.clear();
+  s.queue_head = 0;
   s.done.Reset();
   s.relevant.Reset();
   s.pending = 0;
@@ -156,67 +187,117 @@ void DuetCore::EnsureInodeCapacity(InodeNo ino) {
   }
 }
 
-DuetCore::Descriptor& DuetCore::GetOrCreateDescriptor(const PageKey& key) {
-  auto it = descriptors_.find(key);
-  if (it == descriptors_.end()) {
-    Descriptor d;
-    const CachedPage* page = fs_->cache().Peek(key.ino, key.idx);
-    d.cur_exists = page != nullptr;
-    d.cur_modified = page != nullptr && page->dirty;
-    it = descriptors_.emplace(key, d).first;
-    inode_index_[key.ino].insert(key.idx);
+uint32_t DuetCore::GetOrCreateSlot(const PageKey& key, bool exists,
+                                   bool modified) {
+  uint32_t slot = page_table_.Find(key.ino, key.idx);
+  if (slot != kNoSlot) {
+    return slot;
   }
-  return it->second;
+  return CreateSlot(key, exists, modified);
 }
 
-bool DuetCore::DescriptorNeeded(const Descriptor& d) const {
-  for (uint32_t sid = 0; sid < config_.max_sessions; ++sid) {
-    const Session& s = sessions_[sid];
-    if (!s.active) {
-      continue;
-    }
-    // Unfetched-but-cancelled notifications (e.g. a page added and evicted
-    // between fetches) do NOT keep a descriptor alive — that is what gives
-    // the paper's 2x-cache-pages bound for state sessions (§4.2). A stale
-    // fetch-queue entry is skipped harmlessly later.
-    if (HasPending(s, sid, d)) {
-      return true;
-    }
-    // Keep the descriptor while the page is cached and some state session
-    // exists: its reported-state snapshot is live context.
-    if (SubscribesState(s) && d.cur_exists) {
+uint32_t DuetCore::CreateSlot(const PageKey& key, bool exists, bool modified) {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(arena_.size());
+    arena_.emplace_back();
+  }
+  Descriptor& d = arena_[slot];
+  d.ino = key.ino;
+  d.idx = key.idx;
+  d.live = true;
+  d.cur_exists = exists;
+  d.cur_modified = modified;
+  // Link into the inode's descriptor chain (front; order is only consumed
+  // by per-file bookkeeping, which collects before mutating).
+  auto [it, created] = inode_heads_.try_emplace(key.ino, slot);
+  if (created) {
+    d.ino_next = kNoSlot;
+  } else {
+    d.ino_next = it->second;
+    arena_[it->second].ino_prev = slot;
+    it->second = slot;
+  }
+  d.ino_prev = kNoSlot;
+  page_table_.Insert(key.ino, key.idx, slot);
+  ++live_descriptors_;
+  return slot;
+}
+
+bool DuetCore::DescriptorNeeded(uint32_t slot, const Descriptor& d) const {
+  // Keep the descriptor while the page is cached and some state session
+  // exists: its reported-state snapshot is live context.
+  if (d.cur_exists && state_mask_ != 0) {
+    return true;
+  }
+  // Unfetched-but-cancelled notifications (e.g. a page added and evicted
+  // between fetches) do NOT keep a descriptor alive — that is what gives
+  // the paper's 2x-cache-pages bound for state sessions (§4.2). A stale
+  // fetch-queue entry is skipped harmlessly later.
+  uint64_t mask = active_mask_;
+  while (mask != 0) {
+    auto sid = static_cast<SessionId>(std::countr_zero(mask));
+    mask &= mask - 1;
+    const Session& sess = sessions_[sid];
+    if (HasPending(sess, sess.flags.Get(slot), d)) {
       return true;
     }
   }
   return false;
 }
 
-void DuetCore::MaybeFreeDescriptor(const PageKey& key) {
-  auto it = descriptors_.find(key);
-  if (it == descriptors_.end() || DescriptorNeeded(it->second)) {
+void DuetCore::MaybeFreeDescriptor(const PageKey& key, uint32_t slot) {
+  if (slot == kNoSlot) {
     return;
   }
-  // Reconcile queue accounting: freeing a queued descriptor leaves a stale
-  // deque entry behind, which Fetch skips.
-  for (uint32_t sid = 0; sid < config_.max_sessions; ++sid) {
+  Descriptor& d = arena_[slot];
+  if (!d.live || DescriptorNeeded(slot, d)) {
+    return;
+  }
+  // Clear every active session's flag byte for this slot (slots recycle, so
+  // a freed slot must read as 0 everywhere) and reconcile queue accounting:
+  // freeing a queued descriptor leaves a stale deque entry behind, which
+  // Fetch skips.
+  uint64_t mask = active_mask_;
+  while (mask != 0) {
+    auto sid = static_cast<SessionId>(std::countr_zero(mask));
+    mask &= mask - 1;
     Session& s = sessions_[sid];
-    if (s.active && (it->second.flags[sid] & kQueued) != 0) {
-      assert(s.pending > 0);
-      --s.pending;
+    uint8_t byte = s.flags.Get(slot);
+    if (byte != 0) {
+      if ((byte & kQueued) != 0) {
+        assert(s.pending > 0);
+        --s.pending;
+      }
+      s.flags.Set(slot, 0);
     }
   }
-  descriptors_.erase(it);
-  auto idx_it = inode_index_.find(key.ino);
-  if (idx_it != inode_index_.end()) {
-    idx_it->second.erase(key.idx);
-    if (idx_it->second.empty()) {
-      inode_index_.erase(idx_it);
+  // Unlink from the inode chain.
+  if (d.ino_prev != kNoSlot) {
+    arena_[d.ino_prev].ino_next = d.ino_next;
+  } else {
+    auto it = inode_heads_.find(key.ino);
+    assert(it != inode_heads_.end() && it->second == slot);
+    if (d.ino_next == kNoSlot) {
+      inode_heads_.erase(it);
+    } else {
+      it->second = d.ino_next;
     }
   }
+  if (d.ino_next != kNoSlot) {
+    arena_[d.ino_next].ino_prev = d.ino_prev;
+  }
+  page_table_.Erase(key.ino, key.idx);
+  d = Descriptor{};
+  free_slots_.push_back(slot);
+  --live_descriptors_;
 }
 
-bool DuetCore::HasPending(const Session& s, SessionId sid, const Descriptor& d) const {
-  uint8_t byte = d.flags[sid];
+bool DuetCore::HasPending(const Session& s, uint8_t byte,
+                          const Descriptor& d) const {
   if ((byte & kPendingEventMask) != 0) {
     return true;
   }
@@ -231,9 +312,9 @@ bool DuetCore::HasPending(const Session& s, SessionId sid, const Descriptor& d) 
   return false;
 }
 
-bool DuetCore::EnsureQueued(SessionId sid, Session& s, Descriptor& d,
-                            const PageKey& key) {
-  if ((d.flags[sid] & kQueued) != 0) {
+bool DuetCore::EnsureQueued(SessionId sid, Session& s, uint32_t slot,
+                            const PageKey& key, uint8_t byte) {
+  if ((byte & kQueued) != 0) {
     return true;
   }
   if (!SubscribesState(s) && s.pending >= config_.max_pending_per_session) {
@@ -243,10 +324,10 @@ bool DuetCore::EnsureQueued(SessionId sid, Session& s, Descriptor& d,
     ctr_dropped_->Add();
     obs_->trace.Emit(Now(), obs::TraceLayer::kDuet, obs::TraceKind::kEventDropped,
                      sid, key.ino, key.idx);
-    d.flags[sid] &= static_cast<uint8_t>(~kPendingEventMask);
+    s.flags.Set(slot, static_cast<uint8_t>(byte & ~kPendingEventMask));
     return false;
   }
-  d.flags[sid] |= kQueued;
+  s.flags.Set(slot, static_cast<uint8_t>(byte | kQueued));
   s.queue.push_back(key);
   ++s.pending;
   return true;
@@ -269,37 +350,23 @@ bool DuetCore::IsRelevant(Session& s, InodeNo ino) {
 void DuetCore::OnPageEvent(const PageEvent& event) {
   ++stats_.hook_invocations;
   ctr_hooks_->Add();
-  if (active_sessions_ == 0) {
-    // Still refresh an existing descriptor's state view if one survives.
-    auto it = descriptors_.find(PageKey{event.ino, event.idx});
-    if (it != descriptors_.end()) {
-      const CachedPage* page = fs_->cache().Peek(event.ino, event.idx);
-      it->second.cur_exists = page != nullptr;
-      it->second.cur_modified = page != nullptr && page->dirty;
-    }
+  PageKey key{event.ino, event.idx};
+  uint32_t slot = FindSlot(key);
+  // Refresh the merged descriptor's current-state view from the hook's
+  // post-event snapshot (no cache probe needed).
+  if (slot != kNoSlot) {
+    arena_[slot].cur_exists = event.exists;
+    arena_[slot].cur_modified = event.dirty;
+  }
+  uint64_t interested = event_interest_[static_cast<int>(event.type)];
+  if (interested == 0) {
     return;
   }
-  PageKey key{event.ino, event.idx};
-
-  // Refresh the merged descriptor's current-state view (the cache has
-  // already been updated when the hook fires).
-  auto desc_it = descriptors_.find(key);
-  if (desc_it != descriptors_.end()) {
-    const CachedPage* page = fs_->cache().Peek(event.ino, event.idx);
-    desc_it->second.cur_exists = page != nullptr;
-    desc_it->second.cur_modified = page != nullptr && page->dirty;
-  }
-
-  for (SessionId sid = 0; sid < config_.max_sessions; ++sid) {
+  uint64_t mask = interested;
+  while (mask != 0) {
+    auto sid = static_cast<SessionId>(std::countr_zero(mask));
+    mask &= mask - 1;
     Session& s = sessions_[sid];
-    if (!s.active) {
-      continue;
-    }
-    uint8_t interest = static_cast<uint8_t>(
-        (s.mask & EventBit(event.type)) | (s.mask & AffectedStateBit(event.type)));
-    if (interest == 0) {
-      continue;
-    }
     if (s.is_block) {
       Result<BlockNo> block = fs_->Bmap(event.ino, event.idx);
       if (!block.ok() || s.done.Test(*block)) {
@@ -313,24 +380,31 @@ void DuetCore::OnPageEvent(const PageEvent& event) {
         continue;
       }
     }
-    ApplyEvent(sid, s, key, event.type);
+    ApplyEvent(sid, s, key, slot, event.type, event.exists, event.dirty);
   }
-  MaybeFreeDescriptor(key);
+  MaybeFreeDescriptor(key, slot);
 }
 
 void DuetCore::ApplyEvent(SessionId sid, Session& s, const PageKey& key,
-                          PageEventType type) {
-  Descriptor& d = GetOrCreateDescriptor(key);
+                          uint32_t& slot, PageEventType type, bool exists,
+                          bool modified) {
+  if (slot == kNoSlot) {
+    // OnPageEvent already probed the page table and missed; create without
+    // re-probing. (Nothing between that probe and here mutates the table.)
+    slot = CreateSlot(key, exists, modified);
+  }
   ++stats_.descriptor_updates;
   ctr_delivered_->Add();
   obs_->trace.Emit(Now(), obs::TraceLayer::kDuet, obs::TraceKind::kEventDelivered,
                    sid, key.ino, key.idx);
+  uint8_t byte = s.flags.Get(slot);
   uint8_t event_bit = static_cast<uint8_t>(s.mask & EventBit(type));
-  if (event_bit != 0) {
-    d.flags[sid] |= event_bit;
+  if (event_bit != 0 && (byte & event_bit) != event_bit) {
+    byte = static_cast<uint8_t>(byte | event_bit);
+    s.flags.Set(slot, byte);
   }
-  if (HasPending(s, sid, d)) {
-    EnsureQueued(sid, s, d, key);
+  if (HasPending(s, byte, arena_[slot])) {
+    EnsureQueued(sid, s, slot, key, byte);
   }
 }
 
@@ -350,20 +424,22 @@ void DuetCore::InitialScan(SessionId sid) {
       }
     }
     PageKey key{ino, idx};
-    Descriptor& d = GetOrCreateDescriptor(key);
+    uint32_t slot = GetOrCreateSlot(key, /*exists=*/true, page.dirty);
     ++stats_.descriptor_updates;
     ctr_delivered_->Add();
     // The scan marks the page present (and possibly dirty), §4.1.
+    uint8_t byte = s.flags.Get(slot);
     if ((s.mask & kDuetPageAdded) != 0) {
-      d.flags[sid] |= kDuetPageAdded;
+      byte |= kDuetPageAdded;
     }
     if (page.dirty && (s.mask & kDuetPageDirtied) != 0) {
-      d.flags[sid] |= kDuetPageDirtied;
+      byte |= kDuetPageDirtied;
     }
-    if (HasPending(s, sid, d)) {
-      EnsureQueued(sid, s, d, key);
+    s.flags.Set(slot, byte);
+    if (HasPending(s, byte, arena_[slot])) {
+      EnsureQueued(sid, s, slot, key, byte);
     } else {
-      MaybeFreeDescriptor(key);
+      MaybeFreeDescriptor(key, slot);
     }
   });
 }
@@ -376,19 +452,18 @@ Result<std::vector<DuetItem>> DuetCore::Fetch(SessionId sid, size_t max_items) {
   ++stats_.fetch_calls;
   ctr_fetch_calls_->Add();
   std::vector<DuetItem> items;
-  while (items.size() < max_items && !s.queue.empty()) {
-    PageKey key = s.queue.front();
-    s.queue.pop_front();
-    auto it = descriptors_.find(key);
-    if (it == descriptors_.end()) {
+  items.reserve(std::min<uint64_t>(max_items, s.queue.size() - s.queue_head));
+  while (items.size() < max_items && s.queue_head < s.queue.size()) {
+    PageKey key = s.queue[s.queue_head++];
+    uint32_t slot = FindSlot(key);
+    if (slot == kNoSlot) {
       continue;  // descriptor freed since it was queued
     }
-    Descriptor& d = it->second;
-    uint8_t byte = d.flags[sid];
+    Descriptor& d = arena_[slot];
+    uint8_t byte = s.flags.Get(slot);
     if ((byte & kQueued) == 0) {
       continue;  // stale queue entry
     }
-    d.flags[sid] = static_cast<uint8_t>(byte & ~kQueued);
     assert(s.pending > 0);
     --s.pending;
 
@@ -402,20 +477,20 @@ Result<std::vector<DuetItem>> DuetCore::Fetch(SessionId sid, size_t max_items) {
       out |= d.cur_modified ? kDuetPageModified : kDuetPageFlushed;
     }
 
-    // Mark up-to-date: clear pending events, snapshot the reported state.
-    uint8_t cleared = static_cast<uint8_t>(d.flags[sid] & ~kPendingEventMask &
-                                           ~(kReportedExists | kReportedModified));
+    // Mark up-to-date: clear queued + pending events, snapshot the reported
+    // state.
+    uint8_t cleared = 0;
     if (d.cur_exists) {
       cleared |= kReportedExists;
     }
     if (d.cur_modified) {
       cleared |= kReportedModified;
     }
-    d.flags[sid] = cleared;
+    s.flags.Set(slot, cleared);
 
     if (out == 0) {
       // Notifications cancelled each other (e.g. added then removed).
-      MaybeFreeDescriptor(key);
+      MaybeFreeDescriptor(key, slot);
       continue;
     }
     DuetItem item;
@@ -423,7 +498,7 @@ Result<std::vector<DuetItem>> DuetCore::Fetch(SessionId sid, size_t max_items) {
     if (s.is_block) {
       Result<BlockNo> block = fs_->Bmap(key.ino, key.idx);
       if (!block.ok()) {
-        MaybeFreeDescriptor(key);
+        MaybeFreeDescriptor(key, slot);
         continue;  // page no longer mapped (file deleted/truncated)
       }
       item.id = *block;
@@ -437,7 +512,13 @@ Result<std::vector<DuetItem>> DuetCore::Fetch(SessionId sid, size_t max_items) {
     ctr_fetched_->Add();
     obs_->trace.Emit(Now(), obs::TraceLayer::kDuet, obs::TraceKind::kItemFetched,
                      sid, item.id, item.flags);
-    MaybeFreeDescriptor(key);
+    MaybeFreeDescriptor(key, slot);
+  }
+  if (s.queue_head == s.queue.size()) {
+    // Fully drained: reclaim the consumed prefix so the vector's footprint
+    // tracks the backlog, not the session's cumulative event count.
+    s.queue.clear();
+    s.queue_head = 0;
   }
   return items;
 }
@@ -472,12 +553,12 @@ Status DuetCore::SetDone(SessionId sid, uint64_t item_id) {
   // Mark existing descriptors up-to-date so completed items generate no
   // further notifications (§4.1).
   auto clear_page = [&](const PageKey& key) {
-    auto it = descriptors_.find(key);
-    if (it == descriptors_.end()) {
+    uint32_t slot = FindSlot(key);
+    if (slot == kNoSlot) {
       return;
     }
-    Descriptor& d = it->second;
-    uint8_t byte = d.flags[sid];
+    Descriptor& d = arena_[slot];
+    uint8_t byte = s.flags.Get(slot);
     uint8_t cleared = 0;
     if (d.cur_exists) {
       cleared |= kReportedExists;
@@ -485,12 +566,12 @@ Status DuetCore::SetDone(SessionId sid, uint64_t item_id) {
     if (d.cur_modified) {
       cleared |= kReportedModified;
     }
-    d.flags[sid] = cleared;
+    s.flags.Set(slot, cleared);
     if ((byte & kQueued) != 0) {
       assert(s.pending > 0);
       --s.pending;
     }
-    MaybeFreeDescriptor(key);
+    MaybeFreeDescriptor(key, slot);
   };
 
   if (s.is_block) {
@@ -499,11 +580,16 @@ Status DuetCore::SetDone(SessionId sid, uint64_t item_id) {
       clear_page(PageKey{owner->ino, owner->idx});
     }
   } else {
-    auto idx_it = inode_index_.find(item_id);
-    if (idx_it != inode_index_.end()) {
-      std::vector<PageIdx> pages(idx_it->second.begin(), idx_it->second.end());
-      for (PageIdx idx : pages) {
-        clear_page(PageKey{item_id, idx});
+    auto head_it = inode_heads_.find(item_id);
+    if (head_it != inode_heads_.end()) {
+      // Collect first: clear_page can free descriptors and relink the chain.
+      std::vector<PageKey> pages;
+      for (uint32_t slot = head_it->second; slot != kNoSlot;
+           slot = arena_[slot].ino_next) {
+        pages.push_back(PageKey{arena_[slot].ino, arena_[slot].idx});
+      }
+      for (const PageKey& key : pages) {
+        clear_page(key);
       }
     }
   }
@@ -564,19 +650,21 @@ void DuetCore::FileMovedIn(SessionId sid, Session& s, InodeNo ino) {
   // does (§4.1).
   fs_->cache().ForEachPageOfInode(ino, [&](PageIdx idx, const CachedPage& page) {
     PageKey key{ino, idx};
-    Descriptor& d = GetOrCreateDescriptor(key);
+    uint32_t slot = GetOrCreateSlot(key, /*exists=*/true, page.dirty);
     ++stats_.descriptor_updates;
     ctr_delivered_->Add();
+    uint8_t byte = s.flags.Get(slot);
     if ((s.mask & kDuetPageAdded) != 0) {
-      d.flags[sid] |= kDuetPageAdded;
+      byte |= kDuetPageAdded;
     }
     if (page.dirty && (s.mask & kDuetPageDirtied) != 0) {
-      d.flags[sid] |= kDuetPageDirtied;
+      byte |= kDuetPageDirtied;
     }
     // Force a fresh state report.
-    d.flags[sid] &= static_cast<uint8_t>(~(kReportedExists | kReportedModified));
-    if (HasPending(s, sid, d)) {
-      EnsureQueued(sid, s, d, key);
+    byte &= static_cast<uint8_t>(~(kReportedExists | kReportedModified));
+    s.flags.Set(slot, byte);
+    if (HasPending(s, byte, arena_[slot])) {
+      EnsureQueued(sid, s, slot, key, byte);
     }
   });
 }
@@ -584,19 +672,21 @@ void DuetCore::FileMovedIn(SessionId sid, Session& s, InodeNo ino) {
 void DuetCore::FileMovedOut(SessionId sid, Session& s, InodeNo ino) {
   // Set the Removed bit and clear the Exists view for all existing pages,
   // then mark the file done (§4.1).
-  fs_->cache().ForEachPageOfInode(ino, [&](PageIdx idx, const CachedPage&) {
+  fs_->cache().ForEachPageOfInode(ino, [&](PageIdx idx, const CachedPage& page) {
     PageKey key{ino, idx};
-    Descriptor& d = GetOrCreateDescriptor(key);
+    uint32_t slot = GetOrCreateSlot(key, /*exists=*/true, page.dirty);
     ++stats_.descriptor_updates;
     ctr_delivered_->Add();
     if ((s.mask & (kDuetPageRemoved | kDuetPageExists)) != 0) {
-      d.flags[sid] |= kDuetPageRemoved;
+      uint8_t byte = s.flags.Get(slot);
+      byte |= kDuetPageRemoved;
       // Pretend the page's existence was already re-reported so the state
       // machinery does not also emit a (contradictory) Exists item.
-      if (d.cur_exists) {
-        d.flags[sid] |= kReportedExists;
+      if (arena_[slot].cur_exists) {
+        byte |= kReportedExists;
       }
-      EnsureQueued(sid, s, d, key);
+      s.flags.Set(slot, byte);
+      EnsureQueued(sid, s, slot, key, byte);
     }
   });
   EnsureInodeCapacity(ino);
@@ -656,11 +746,17 @@ void DuetCore::OnUnlink(InodeNo /*ino*/) {
 
 void DuetCore::OnCreate(InodeNo ino) { EnsureInodeCapacity(ino); }
 
+uint64_t DuetCore::DescriptorMemoryBytes() const {
+  return arena_.capacity() * sizeof(Descriptor) +
+         free_slots_.capacity() * sizeof(uint32_t) + page_table_.MemoryBytes();
+}
+
 uint64_t DuetCore::SessionBitmapBytes(SessionId sid) const {
   if (sid >= config_.max_sessions || !sessions_[sid].active) {
     return 0;
   }
-  return sessions_[sid].done.MemoryBytes() + sessions_[sid].relevant.MemoryBytes();
+  const Session& s = sessions_[sid];
+  return s.done.MemoryBytes() + s.relevant.MemoryBytes() + s.flags.MemoryBytes();
 }
 
 uint64_t DuetCore::DoneCount(SessionId sid) const {
@@ -672,9 +768,12 @@ uint64_t DuetCore::DoneCount(SessionId sid) const {
 
 bool DuetCore::ProcessedByAllSessions(InodeNo ino, PageIdx idx) const {
   bool any_tracking = false;
-  for (SessionId sid = 0; sid < config_.max_sessions; ++sid) {
+  uint64_t mask = active_mask_;
+  while (mask != 0) {
+    auto sid = static_cast<SessionId>(std::countr_zero(mask));
+    mask &= mask - 1;
     const Session& s = sessions_[sid];
-    if (!s.active || s.done.Count() == 0) {
+    if (s.done.Count() == 0) {
       continue;  // sessions that do not track completion get no vote
     }
     any_tracking = true;

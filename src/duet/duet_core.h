@@ -5,9 +5,26 @@
 // and to VFS rename/unlink notifications. It maintains:
 //  * a session table (up to `max_sessions` concurrent sessions, §4.2);
 //  * one *merged* item descriptor per page with pending notifications, in a
-//    single global hash table, holding an N-byte per-session flag array;
+//    packed descriptor arena addressed through a flat open-addressed page
+//    table; the arena slot doubles as the page's *global page number*, the
+//    key the paper uses for its per-session structures;
+//  * per-session notification flag bytes (the four Table 2 event bits plus
+//    reported-state/queued bookkeeping) in dynamically allocated 4 KiB
+//    chunks keyed by global page number (ChunkedByteMap — the byte-wide
+//    sibling of the paper's chunked bitmaps);
 //  * per-session done / relevant bitmaps backed by dynamically allocated
-//    chunks in a red-black tree (RangeBitmap).
+//    chunks in a red-black tree (RangeBitmap, §4.2 verbatim).
+//
+// Hook dispatch is the hottest path in the stack: every page-cache event
+// fans out to the interested sessions. Three things keep it O(1) per
+// interested session with no allocation on the steady path:
+//  * per-event-type session interest masks — a hook visits exactly the
+//    sessions subscribed to that event (bit-scan, not a table walk);
+//  * the flat page table — one open-addressed probe replaces an
+//    unordered_map find plus a secondary inode-index map;
+//  * the descriptor arena + freelist — descriptors recycle without heap
+//    traffic, and per-inode descriptor chains are intrusive (slot links),
+//    so done-marking a file touches only that file's descriptors.
 //
 // Item identity: descriptors are keyed by (inode, page index). Block-task
 // items are translated to block numbers through the file system's FIBMAP
@@ -27,7 +44,6 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/cache/page_event.h"
@@ -35,6 +51,8 @@
 #include "src/fs/file_system.h"
 #include "src/fs/vfs_observer.h"
 #include "src/obs/obs.h"
+#include "src/util/chunked_bytes.h"
+#include "src/util/flat_page_map.h"
 #include "src/util/range_bitmap.h"
 #include "src/util/status.h"
 
@@ -94,11 +112,14 @@ class DuetCore : public PageEventListener, public VfsObserver {
 
   // ---- Introspection / accounting (§6.4 experiments) ----
   const DuetStats& stats() const { return stats_; }
-  uint64_t descriptor_count() const { return descriptors_.size(); }
-  // Paper's estimate: 32 bytes per merged descriptor (id, offset, N-byte
-  // flag array, hash linkage) with N = 16.
-  uint64_t DescriptorMemoryBytes() const { return descriptors_.size() * 32; }
-  // Heap footprint of one session's done+relevant bitmaps.
+  uint64_t descriptor_count() const { return live_descriptors_; }
+  // sizeof-accurate footprint of the descriptor store: the packed arena
+  // (capacity, since freelist slots stay resident), its freelist, and the
+  // flat page table. Per-session flag chunks and done/relevant bitmaps are
+  // reported by SessionBitmapBytes.
+  uint64_t DescriptorMemoryBytes() const;
+  // Heap footprint of one session's done+relevant bitmaps and its
+  // notification flag chunks.
   uint64_t SessionBitmapBytes(SessionId sid) const;
   uint32_t active_sessions() const { return active_sessions_; }
   uint64_t PendingCount(SessionId sid) const;
@@ -117,8 +138,9 @@ class DuetCore : public PageEventListener, public VfsObserver {
 
  private:
   static constexpr uint32_t kMaxSessionsHard = 64;
+  static constexpr uint32_t kNoSlot = FlatPageMap::kNoSlot;
 
-  // Per-session per-descriptor flag byte layout.
+  // Per-session per-page flag byte layout (stored in ChunkedByteMap).
   static constexpr uint8_t kPendingEventMask = 0x0f;  // bits 0-3: Table 2 events
   static constexpr uint8_t kReportedExists = 1u << 4;
   static constexpr uint8_t kReportedModified = 1u << 5;
@@ -129,17 +151,18 @@ class DuetCore : public PageEventListener, public VfsObserver {
     PageIdx idx;
     bool operator==(const PageKey&) const = default;
   };
-  struct PageKeyHash {
-    size_t operator()(const PageKey& k) const {
-      return std::hash<uint64_t>()(k.ino * 0x9e3779b97f4a7c15ULL ^ k.idx);
-    }
-  };
 
-  // Merged item descriptor (§4.2): one per page for all sessions.
+  // Merged item descriptor (§4.2): one per page for all sessions, 32 bytes
+  // as the paper estimates. Per-session flag bytes live in the sessions'
+  // chunked flag maps, keyed by this descriptor's arena slot.
   struct Descriptor {
+    InodeNo ino = kInvalidInode;
+    PageIdx idx = 0;
+    uint32_t ino_next = kNoSlot;  // intrusive chain of this inode's descriptors
+    uint32_t ino_prev = kNoSlot;
     bool cur_exists = false;
     bool cur_modified = false;
-    std::array<uint8_t, kMaxSessionsHard> flags{};
+    bool live = false;  // false: slot is on the freelist
   };
 
   struct Session {
@@ -149,7 +172,13 @@ class DuetCore : public PageEventListener, public VfsObserver {
     InodeNo registered_dir = kInvalidInode;
     RangeBitmap done;
     RangeBitmap relevant;  // file tasks only
-    std::deque<PageKey> queue;  // descriptors with pending notifications
+    ChunkedByteMap flags;  // per-page flag byte, keyed by descriptor slot
+    // Pages with pending notifications, FIFO. A vector with a consumed-prefix
+    // cursor beats a deque here: pushes are a bump store, Fetch drains are a
+    // linear walk, and full drains (the common case) reset to empty. The
+    // consumed prefix is compacted when it outgrows the live tail.
+    std::vector<PageKey> queue;
+    size_t queue_head = 0;  // index of the first unconsumed queue entry
     uint64_t pending = 0;
     uint64_t dropped = 0;
   };
@@ -165,24 +194,44 @@ class DuetCore : public PageEventListener, public VfsObserver {
   // inode; irrelevant inodes are marked done so they are never re-checked.
   bool IsRelevant(Session& s, InodeNo ino);
 
-  // Applies one page event to one session's descriptor byte. `forced_gone`
-  // models a file leaving the registered directory (treated as ¬exists).
-  void ApplyEvent(SessionId sid, Session& s, const PageKey& key, PageEventType type);
-  // Marks the descriptor pending for `sid` and enqueues it, honouring the
-  // event-only drop limit. Returns false if the event had to be dropped.
-  bool EnsureQueued(SessionId sid, Session& s, Descriptor& d, const PageKey& key);
-  // True if session `sid` has anything to report for `d`.
-  bool HasPending(const Session& s, SessionId sid, const Descriptor& d) const;
+  // Applies one page event to one session's flag byte. `slot` is the page's
+  // descriptor slot, created on demand (kNoSlot on entry = not yet looked
+  // up/created); `exists`/`modified` is the page's post-event state from the
+  // hook, used when the descriptor must be created.
+  void ApplyEvent(SessionId sid, Session& s, const PageKey& key, uint32_t& slot,
+                  PageEventType type, bool exists, bool modified);
+  // Marks the page pending for `sid` and enqueues it, honouring the
+  // event-only drop limit. `byte` is the session's current flag byte for
+  // `slot` (the hot path already holds it; passing it avoids a re-read).
+  // Returns false if the event had to be dropped.
+  bool EnsureQueued(SessionId sid, Session& s, uint32_t slot, const PageKey& key,
+                    uint8_t byte);
+  // True if the session has anything to report for a page whose flag byte
+  // is `byte` and whose descriptor is `d`.
+  bool HasPending(const Session& s, uint8_t byte, const Descriptor& d) const;
   // Frees the descriptor if no session needs it any more.
-  void MaybeFreeDescriptor(const PageKey& key);
-  bool DescriptorNeeded(const Descriptor& d) const;
+  void MaybeFreeDescriptor(const PageKey& key, uint32_t slot);
+  bool DescriptorNeeded(uint32_t slot, const Descriptor& d) const;
 
-  Descriptor& GetOrCreateDescriptor(const PageKey& key);
+  // Returns the page's descriptor slot, allocating one (and linking it into
+  // its inode's chain) if absent. `exists`/`modified` seed a newly created
+  // descriptor's current-state view; callers always know the page state (from
+  // the hook event or a cache scan), so creation never probes the cache.
+  uint32_t GetOrCreateSlot(const PageKey& key, bool exists, bool modified);
+  // Allocates + links a descriptor for a key known to be absent from the
+  // page table (callers that just probed and missed skip the re-probe).
+  uint32_t CreateSlot(const PageKey& key, bool exists, bool modified);
+  uint32_t FindSlot(const PageKey& key) const {
+    return page_table_.Find(key.ino, key.idx);
+  }
   void EnsureInodeCapacity(InodeNo ino);
 
   // Handles a file moving into / out of a session's registered directory.
   void FileMovedIn(SessionId sid, Session& s, InodeNo ino);
   void FileMovedOut(SessionId sid, Session& s, InodeNo ino);
+
+  // Recomputes the per-event-type interest masks from the active sessions.
+  void RebuildInterestMasks();
 
   SimTime Now() const;
 
@@ -198,10 +247,21 @@ class DuetCore : public PageEventListener, public VfsObserver {
   obs::Counter* ctr_done_unset_;
   std::array<Session, kMaxSessionsHard> sessions_;
   uint32_t active_sessions_ = 0;
-  std::unordered_map<PageKey, Descriptor, PageKeyHash> descriptors_;
-  // Secondary index: inode -> pages with live descriptors (done-marking and
-  // rename handling need per-file access).
-  std::unordered_map<InodeNo, std::unordered_set<PageIdx>> inode_index_;
+  // Bit s set: session s is active / is active and interested in event type
+  // t (its mask covers the event bit or the state bit the event affects).
+  uint64_t active_mask_ = 0;
+  uint64_t state_mask_ = 0;  // active sessions subscribed to state bits
+  std::array<uint64_t, 4> event_interest_{};  // indexed by PageEventType
+
+  // Descriptor store: flat page table -> packed arena + freelist. The arena
+  // slot is the page's global page number for per-session structures.
+  FlatPageMap page_table_;
+  std::vector<Descriptor> arena_;
+  std::vector<uint32_t> free_slots_;
+  uint64_t live_descriptors_ = 0;
+  // Head (slot) of each inode's intrusive descriptor chain: done-marking and
+  // rename handling need per-file access.
+  std::unordered_map<InodeNo, uint32_t> inode_heads_;
   DuetStats stats_;
 };
 

@@ -214,15 +214,6 @@ void FileSystem::ClearOwner(BlockNo block) {
   }
 }
 
-Result<BlockNo> FileSystem::Bmap(InodeNo ino, PageIdx idx) const {
-  auto it = fmap_.find(ino);
-  if (it == fmap_.end() || idx >= it->second.blocks.size() ||
-      it->second.blocks[idx] == kInvalidBlock) {
-    return Status(StatusCode::kNotFound, "unmapped page");
-  }
-  return it->second.blocks[idx];
-}
-
 Result<FileSystem::BlockOwner> FileSystem::Rmap(BlockNo block) const {
   if (block >= rmap_.size() || rmap_[block].ino == kInvalidInode) {
     return Status(StatusCode::kNotFound, "unowned block");

@@ -138,7 +138,16 @@ class FileSystem : public WritebackTarget {
 
   // ---- Mapping (the FIBMAP ioctl the paper relies on, §4.2) ----
   // Returns the device block currently backing page `idx` of `ino`.
-  Result<BlockNo> Bmap(InodeNo ino, PageIdx idx) const;
+  // Inline: block-task hook dispatch translates every page event through
+  // Bmap, making this one of the hottest lookups in the stack.
+  Result<BlockNo> Bmap(InodeNo ino, PageIdx idx) const {
+    auto it = fmap_.find(ino);
+    if (it == fmap_.end() || idx >= it->second.blocks.size() ||
+        it->second.blocks[idx] == kInvalidBlock) {
+      return Status(StatusCode::kNotFound, "unmapped page");
+    }
+    return it->second.blocks[idx];
+  }
 
   // Reverse mapping (back references): the file page currently stored in
   // `block`, if any. Used to surface block-level reads as page events and by

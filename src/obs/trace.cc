@@ -172,27 +172,9 @@ void JsonlTraceSink::OnTraceEvent(const TraceEvent& event) {
   ++events_written_;
 }
 
-void Tracer::Emit(SimTime at, TraceLayer layer, TraceKind kind, uint64_t a,
-                  uint64_t b, uint64_t c) {
-  ++events_emitted_;
-  if (fingerprint_enabled_) {
-    // FNV-1a over the event's six words, byte by byte, in wire order.
-    uint64_t words[6] = {at, static_cast<uint64_t>(layer),
-                         static_cast<uint64_t>(kind), a, b, c};
-    uint64_t h = fingerprint_;
-    for (uint64_t w : words) {
-      for (int i = 0; i < 8; ++i) {
-        h ^= (w >> (8 * i)) & 0xff;
-        h *= kFnvPrime;
-      }
-    }
-    fingerprint_ = h;
-  }
-  if (!sinks_.empty()) {
-    TraceEvent event{at, layer, kind, a, b, c};
-    for (TraceSink* sink : sinks_) {
-      sink->OnTraceEvent(event);
-    }
+void Tracer::EmitToSinks(const TraceEvent& event) {
+  for (TraceSink* sink : sinks_) {
+    sink->OnTraceEvent(event);
   }
 }
 

@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -88,7 +87,10 @@ class EventLoop {
   obs::Counter* ctr_scheduled_;
   obs::Counter* ctr_fired_;
   obs::Counter* ctr_cancelled_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Binary heap managed with push_heap/pop_heap over a pre-reserved vector:
+  // same ordering as std::priority_queue, but storage is reused across the
+  // run instead of re-growing, and the comparator stays inlined.
+  std::vector<Entry> heap_;
   // Ids that are scheduled and not yet run or cancelled. A heap entry whose
   // id is absent here is a cancelled tombstone and is skipped.
   std::unordered_set<EventId> pending_ids_;

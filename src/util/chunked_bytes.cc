@@ -1,0 +1,11 @@
+#include "src/util/chunked_bytes.h"
+
+namespace duet {
+
+void ChunkedByteMap::Reset() {
+  chunks_.clear();
+  nonzero_ = 0;
+  live_chunks_ = 0;
+}
+
+}  // namespace duet

@@ -1,6 +1,8 @@
 #include "src/util/crc32c.h"
 
 #include <array>
+#include <cstdlib>
+#include <cstring>
 
 namespace duet {
 namespace {
@@ -21,9 +23,33 @@ constexpr std::array<uint32_t, 256> MakeTable() {
 
 constexpr std::array<uint32_t, 256> kTable = MakeTable();
 
+// Slice-by-8 tables: kSlice[j][b] is the CRC contribution of byte value `b`
+// positioned j+1 bytes before the end of an 8-byte group, so eight table
+// lookups advance the CRC over eight input bytes at once.
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeSliceTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  tables[0] = MakeTable();
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables[0][i];
+    for (int j = 1; j < 8; ++j) {
+      crc = tables[0][crc & 0xff] ^ (crc >> 8);
+      tables[j][i] = crc;
+    }
+  }
+  return tables;
+}
+
+constexpr std::array<std::array<uint32_t, 256>, 8> kSlice = MakeSliceTables();
+
+uint64_t LoadLe64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));  // little-endian hosts only (x86/arm64)
+  return v;
+}
+
 }  // namespace
 
-uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+uint32_t Crc32cScalar(const void* data, size_t len, uint32_t seed) {
   const auto* p = static_cast<const uint8_t*>(data);
   uint32_t crc = ~seed;
   for (size_t i = 0; i < len; ++i) {
@@ -31,5 +57,111 @@ uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
   }
   return ~crc;
 }
+
+uint32_t Crc32cSlice8(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  // Align to 8 bytes so the wide loads below stay on natural boundaries.
+  while (len > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = kTable[(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    --len;
+  }
+  while (len >= 8) {
+    uint64_t word = LoadLe64(p) ^ crc;
+    crc = kSlice[7][word & 0xff] ^ kSlice[6][(word >> 8) & 0xff] ^
+          kSlice[5][(word >> 16) & 0xff] ^ kSlice[4][(word >> 24) & 0xff] ^
+          kSlice[3][(word >> 32) & 0xff] ^ kSlice[2][(word >> 40) & 0xff] ^
+          kSlice[1][(word >> 48) & 0xff] ^ kSlice[0][word >> 56];
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    crc = kTable[(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    --len;
+  }
+  return ~crc;
+}
+
+#if !defined(DUET_CRC32C_FORCE_SCALAR) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define DUET_CRC32C_HAVE_HW 1
+
+bool Crc32cHwAvailable() { return __builtin_cpu_supports("sse4.2"); }
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cHw(const void* data, size_t len,
+                                                    uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  while (len > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --len;
+  }
+  uint64_t crc64 = crc;
+  while (len >= 8) {
+    crc64 = __builtin_ia32_crc32di(crc64, LoadLe64(p));
+    p += 8;
+    len -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (len > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --len;
+  }
+  return ~crc;
+}
+
+#else
+
+bool Crc32cHwAvailable() { return false; }
+uint32_t Crc32cHw(const void* data, size_t len, uint32_t seed) {
+  return Crc32cSlice8(data, len, seed);
+}
+
+#endif
+
+namespace {
+
+using Crc32cFn = uint32_t (*)(const void*, size_t, uint32_t);
+
+struct Dispatch {
+  Crc32cFn fn;
+  const char* name;
+};
+
+Dispatch ResolveDispatch() {
+#if defined(DUET_CRC32C_FORCE_SCALAR)
+  return {Crc32cScalar, "scalar"};
+#else
+  if (const char* force = std::getenv("DUET_CRC32C")) {
+    if (std::strcmp(force, "scalar") == 0) {
+      return {Crc32cScalar, "scalar"};
+    }
+    if (std::strcmp(force, "slice8") == 0) {
+      return {Crc32cSlice8, "slice8"};
+    }
+    if (std::strcmp(force, "hw") == 0 && Crc32cHwAvailable()) {
+      return {Crc32cHw, "hw"};
+    }
+    // Unknown value or unavailable kernel: fall through to auto-detection.
+  }
+  if (Crc32cHwAvailable()) {
+    return {Crc32cHw, "hw"};
+  }
+  return {Crc32cSlice8, "slice8"};
+#endif
+}
+
+const Dispatch& CurrentDispatch() {
+  static const Dispatch dispatch = ResolveDispatch();
+  return dispatch;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  return CurrentDispatch().fn(data, len, seed);
+}
+
+const char* Crc32cImplName() { return CurrentDispatch().name; }
 
 }  // namespace duet

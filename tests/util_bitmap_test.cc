@@ -204,5 +204,81 @@ TEST_P(BitmapPropertyTest, MatchesReferenceModel) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BitmapPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
+// ---- Word-boundary seams ----
+// The word-at-a-time fast paths (SetRange/ClearRange/CountRange/FindNext*)
+// switch between masked partial words and full-word operations exactly at
+// multiples of 64; off-by-ones there silently corrupt neighbouring bits.
+
+TEST(BitmapTest, SetClearAtEveryWordSeam) {
+  Bitmap b(64 * 4 + 1);
+  for (uint64_t seam = 64; seam <= 256; seam += 64) {
+    for (int64_t d = -1; d <= 1; ++d) {
+      uint64_t bit = seam + d;
+      if (bit >= b.size()) continue;
+      b.Set(bit);
+      EXPECT_TRUE(b.Test(bit)) << bit;
+    }
+  }
+  EXPECT_EQ(b.Count(), 3u * 3u + 2u);  // seams 64,128,192 full; 256 has -1,0
+  for (uint64_t seam = 64; seam <= 256; seam += 64) {
+    for (int64_t d = -1; d <= 1; ++d) {
+      uint64_t bit = seam + d;
+      if (bit >= b.size()) continue;
+      b.Clear(bit);
+      EXPECT_FALSE(b.Test(bit)) << bit;
+    }
+  }
+  EXPECT_TRUE(b.AllClear());
+}
+
+TEST(BitmapTest, RangesHittingWordSeamsExactly) {
+  // Every combination of begin/end landing on, just before, and just after a
+  // word seam, checked against per-bit ground truth.
+  const uint64_t kBits = 64 * 5;
+  const uint64_t edges[] = {0, 1, 63, 64, 65, 127, 128, 129, 191, 192, 255, 256, 319, 320};
+  for (uint64_t begin : edges) {
+    for (uint64_t end : edges) {
+      if (end < begin) continue;
+      Bitmap b(kBits);
+      b.SetRange(begin, end);
+      EXPECT_EQ(b.Count(), end - begin) << begin << ".." << end;
+      for (uint64_t i = 0; i < kBits; ++i) {
+        EXPECT_EQ(b.Test(i), i >= begin && i < end) << i;
+      }
+      EXPECT_EQ(b.CountRange(begin, end), end - begin);
+      b.ClearRange(begin, end);
+      EXPECT_TRUE(b.AllClear()) << begin << ".." << end;
+    }
+  }
+}
+
+TEST(BitmapTest, FindNextAcrossWordSeams) {
+  Bitmap b(64 * 4);
+  b.Set(63);
+  b.Set(64);
+  b.Set(191);
+  EXPECT_EQ(b.FindNextSet(0), std::optional<uint64_t>(63));
+  EXPECT_EQ(b.FindNextSet(64), std::optional<uint64_t>(64));
+  EXPECT_EQ(b.FindNextSet(65), std::optional<uint64_t>(191));
+  EXPECT_EQ(b.FindNextSet(192), std::nullopt);
+  Bitmap full(130);
+  full.SetRange(0, 130);
+  EXPECT_EQ(full.FindNextClear(0), std::nullopt);
+  full.Clear(128);
+  EXPECT_EQ(full.FindNextClear(64), std::optional<uint64_t>(128));
+}
+
+TEST(BitmapTest, NonWordMultipleSizeTailBitsStayClean) {
+  // A size not divisible by 64 leaves slack bits in the last word; range and
+  // scan operations must never observe them.
+  Bitmap b(100);
+  b.SetRange(0, 100);
+  EXPECT_TRUE(b.AllSet());
+  EXPECT_EQ(b.Count(), 100u);
+  EXPECT_EQ(b.FindNextClear(0), std::nullopt);
+  b.ClearRange(99, 100);
+  EXPECT_EQ(b.FindNextClear(0), std::optional<uint64_t>(99));
+}
+
 }  // namespace
 }  // namespace duet

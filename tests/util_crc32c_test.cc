@@ -54,5 +54,68 @@ TEST(Crc32cTest, SeedChainingMatchesOneShot) {
   EXPECT_EQ(chained, whole);
 }
 
+TEST(Crc32cTest, KernelsAgreeOnKnownVectors) {
+  const char digits[] = "123456789";
+  EXPECT_EQ(Crc32cScalar(digits, 9), 0xe3069283u);
+  EXPECT_EQ(Crc32cSlice8(digits, 9), 0xe3069283u);
+  if (Crc32cHwAvailable()) {
+    EXPECT_EQ(Crc32cHw(digits, 9), 0xe3069283u);
+  }
+}
+
+// The dispatch contract: every kernel computes the same function, for any
+// length, any alignment of the input buffer, and any seed — so the runtime
+// choice can never affect checksums, traces, or fingerprints.
+TEST(Crc32cTest, KernelsEquivalentAcrossLengthsAlignmentsSeeds) {
+  Rng rng(2024);
+  std::vector<uint8_t> pool(8192 + 64);
+  for (auto& byte : pool) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  // Lengths straddle every slice-by-8 boundary case: sub-word, exact words,
+  // word +/- 1, and multi-KiB runs.
+  const size_t lengths[] = {0,  1,  2,  3,   7,   8,   9,    15,  16,
+                            17, 63, 64, 65,  255, 256, 257,  511, 512,
+                            513, 4095, 4096, 4097, 8192};
+  for (size_t len : lengths) {
+    for (size_t align = 0; align < 9; ++align) {
+      uint32_t seed = static_cast<uint32_t>(rng.Next());
+      const uint8_t* p = pool.data() + align;
+      uint32_t scalar = Crc32cScalar(p, len, seed);
+      EXPECT_EQ(Crc32cSlice8(p, len, seed), scalar)
+          << "slice8 len=" << len << " align=" << align << " seed=" << seed;
+      if (Crc32cHwAvailable()) {
+        EXPECT_EQ(Crc32cHw(p, len, seed), scalar)
+            << "hw len=" << len << " align=" << align << " seed=" << seed;
+      }
+      EXPECT_EQ(Crc32c(p, len, seed), scalar)
+          << "dispatch len=" << len << " align=" << align;
+    }
+  }
+}
+
+TEST(Crc32cTest, KernelsEquivalentOnRandomLengths) {
+  Rng rng(7);
+  std::vector<uint8_t> pool(1 << 16);
+  for (auto& byte : pool) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t len = rng.Uniform(pool.size());
+    size_t off = rng.Uniform(pool.size() - len);
+    uint32_t seed = static_cast<uint32_t>(rng.Next());
+    uint32_t scalar = Crc32cScalar(pool.data() + off, len, seed);
+    EXPECT_EQ(Crc32cSlice8(pool.data() + off, len, seed), scalar);
+    if (Crc32cHwAvailable()) {
+      EXPECT_EQ(Crc32cHw(pool.data() + off, len, seed), scalar);
+    }
+  }
+}
+
+TEST(Crc32cTest, DispatchReportsAKnownKernel) {
+  std::string name = Crc32cImplName();
+  EXPECT_TRUE(name == "scalar" || name == "slice8" || name == "hw") << name;
+}
+
 }  // namespace
 }  // namespace duet

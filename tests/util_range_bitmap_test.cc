@@ -172,5 +172,57 @@ TEST_P(RangeBitmapPropertyTest, MatchesDenseBitmap) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RangeBitmapPropertyTest,
                          ::testing::Values(7, 11, 17, 23, 31, 41));
 
+// ---- Chunk-boundary seams ----
+// Operations that straddle the 32768-bit chunk granularity exercise the
+// allocate/deallocate seams of the red-black-tree chunk store.
+
+TEST(RangeBitmapTest, SetClearAtChunkSeams) {
+  RangeBitmap b(kChunk * 4);
+  for (uint64_t seam = kChunk; seam <= 3 * kChunk; seam += kChunk) {
+    b.Set(seam - 1);
+    b.Set(seam);
+    EXPECT_TRUE(b.Test(seam - 1));
+    EXPECT_TRUE(b.Test(seam));
+  }
+  EXPECT_EQ(b.Count(), 6u);
+  EXPECT_EQ(b.chunk_count(), 4u);  // chunks 0,1,2,3 each hold a seam bit
+  for (uint64_t seam = kChunk; seam <= 3 * kChunk; seam += kChunk) {
+    b.Clear(seam - 1);
+    b.Clear(seam);
+  }
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_EQ(b.chunk_count(), 0u);  // all chunks freed once emptied
+}
+
+TEST(RangeBitmapTest, RangeStraddlingThreeChunks) {
+  RangeBitmap b(kChunk * 4);
+  // Partial first chunk, full middle chunk, partial last chunk.
+  uint64_t begin = kChunk - 7;
+  uint64_t end = 2 * kChunk + 9;
+  b.SetRange(begin, end);
+  EXPECT_EQ(b.Count(), end - begin);
+  EXPECT_EQ(b.chunk_count(), 3u);
+  EXPECT_FALSE(b.Test(begin - 1));
+  EXPECT_TRUE(b.Test(begin));
+  EXPECT_TRUE(b.Test(end - 1));
+  EXPECT_FALSE(b.Test(end));
+  // Clearing just the middle chunk's span frees exactly that chunk.
+  b.ClearRange(kChunk, 2 * kChunk);
+  EXPECT_EQ(b.chunk_count(), 2u);
+  EXPECT_EQ(b.Count(), 7u + 9u);
+  b.ClearRange(begin, end);
+  EXPECT_EQ(b.chunk_count(), 0u);
+}
+
+TEST(RangeBitmapTest, FindNextSetAcrossChunkSeam) {
+  RangeBitmap b(kChunk * 3);
+  b.Set(kChunk - 1);
+  b.Set(2 * kChunk);
+  EXPECT_EQ(b.FindNextSet(0), std::optional<uint64_t>(kChunk - 1));
+  // From exactly the seam: must skip the unallocated middle chunk.
+  EXPECT_EQ(b.FindNextSet(kChunk), std::optional<uint64_t>(2 * kChunk));
+  EXPECT_EQ(b.FindNextSet(2 * kChunk + 1), std::nullopt);
+}
+
 }  // namespace
 }  // namespace duet
